@@ -1,0 +1,35 @@
+"""Figure 12: where every fetch cycle goes (promotion+packing machine)."""
+
+from conftest import run_once
+
+from repro.experiments import figure12_rows
+from repro.frontend.stats import CycleCategory
+from repro.report import format_table
+
+
+def bench_fig12_cycle_accounting(benchmark, emit):
+    rows = run_once(benchmark, figure12_rows)
+    categories = [c.value for c in CycleCategory]
+    text = format_table(
+        ["Benchmark"] + categories,
+        [[r["benchmark"]] + [r[c] for c in categories] for r in rows],
+        title="Figure 12. Fetch-cycle accounting (%), promotion + cost-regulated\n"
+              "packing machine (paper: branch mispredictions dominate the losses\n"
+              "for all but one benchmark)",
+    )
+    emit("fig12", text)
+    useful = CycleCategory.USEFUL_FETCH.value
+    branch = CycleCategory.BRANCH_MISSES.value
+    for r in rows:
+        assert r[useful] > 5.0
+        # Fractions are percentages summing to ~100 (checked in tests);
+        # here assert the paper's qualitative claim: branch losses are the
+        # biggest single loss category for most benchmarks.
+    losses = [CycleCategory.BRANCH_MISSES, CycleCategory.CACHE_MISSES,
+              CycleCategory.FULL_WINDOW, CycleCategory.TRAPS,
+              CycleCategory.MISFETCHES]
+    branch_dominant = sum(
+        1 for r in rows
+        if r[branch] == max(r[c.value] for c in losses)
+    )
+    assert branch_dominant >= len(rows) // 2

@@ -1,0 +1,25 @@
+"""Figure 13: % change in cycles lost to mispredictions vs baseline."""
+
+from conftest import run_once
+
+from repro.experiments import figure13_rows
+from repro.report import format_bar_chart
+
+
+def bench_fig13_lost_cycles(benchmark, emit):
+    rows = run_once(benchmark, figure13_rows)
+    text = format_bar_chart(
+        {r["benchmark"]: r["pct_change"] for r in rows},
+        title="Figure 13. Percent change in fetch cycles lost to branch\n"
+              "mispredictions, promotion+packing vs baseline (paper: most\n"
+              "benchmarks lose MORE cycles despite fewer mispredictions,\n"
+              "because resolution time grows)",
+        fmt="{:+7.1f}",
+    )
+    emit("fig13", text)
+    # Some benchmarks must show increased loss (the paper's central
+    # bottleneck finding); the average change is bounded.
+    increased = sum(1 for r in rows if r["pct_change"] > 0)
+    assert increased >= 3
+    mean = sum(r["pct_change"] for r in rows) / len(rows)
+    assert -40.0 < mean < 60.0

@@ -1,0 +1,27 @@
+"""Figure 4: fetch-size breakdown for gcc on the baseline trace cache."""
+
+from conftest import run_once
+
+from repro.config import BASELINE
+from repro.experiments import fetch_breakdown
+from repro.frontend.stats import FetchReason
+from repro.report import format_bar_chart, format_histogram
+
+
+def bench_fig4_fetch_breakdown(benchmark, emit):
+    data = run_once(benchmark, fetch_breakdown, "gcc", BASELINE)
+    sizes = {}
+    for (size, _reason), frac in data["histogram"].items():
+        sizes[size] = sizes.get(size, 0.0) + frac
+    text = "\n\n".join([
+        format_histogram(sizes, title="Figure 4. Fetch width breakdown, gcc, baseline"),
+        format_bar_chart({r.value: f for r, f in data["reasons"].items()},
+                         title="Termination reasons (fraction of fetches)",
+                         fmt="{:6.3f}"),
+        f"Average fetch size: {data['avg']:.2f} (paper: 9.64)",
+    ])
+    emit("fig4", text)
+    # Shape: multi-block fetches dominate; every paper category present.
+    assert data["avg"] > 7.0
+    assert data["reasons"].get(FetchReason.ATOMIC_BLOCKS, 0) > 0.02
+    assert data["reasons"].get(FetchReason.MISPRED_BR, 0) > 0.01

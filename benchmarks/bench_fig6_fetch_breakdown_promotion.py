@@ -1,0 +1,31 @@
+"""Figure 6: fetch-size breakdown for gcc with branch promotion @ 64."""
+
+from conftest import run_once
+
+from repro.config import BASELINE, PROMOTION
+from repro.experiments import fetch_breakdown
+from repro.frontend.stats import FetchReason
+from repro.report import format_bar_chart, format_histogram
+
+
+def bench_fig6_fetch_breakdown_promotion(benchmark, emit):
+    promo = run_once(benchmark, fetch_breakdown, "gcc", PROMOTION)
+    base = fetch_breakdown("gcc", BASELINE)  # cached from fig4 when warm
+    sizes = {}
+    for (size, _reason), frac in promo["histogram"].items():
+        sizes[size] = sizes.get(size, 0.0) + frac
+    text = "\n\n".join([
+        format_histogram(sizes, title="Figure 6. Fetch width breakdown, gcc, promotion@64"),
+        format_bar_chart({r.value: f for r, f in promo["reasons"].items()},
+                         title="Termination reasons (fraction of fetches)",
+                         fmt="{:6.3f}"),
+        f"Average fetch size: {promo['avg']:.2f} vs baseline {base['avg']:.2f}"
+        " (paper: 10.24 vs 9.64)",
+    ])
+    emit("fig6", text)
+    # The paper's Figure 4 -> 6 shift: fewer fetches end at the branch
+    # limit once strongly biased branches are promoted.
+    base_brs = base["reasons"].get(FetchReason.MAXIMUM_BRS, 0.0)
+    promo_brs = promo["reasons"].get(FetchReason.MAXIMUM_BRS, 0.0)
+    assert promo_brs <= base_brs + 1e-9
+    assert promo["avg"] > 0.97 * base["avg"]

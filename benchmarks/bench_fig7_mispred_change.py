@@ -1,0 +1,25 @@
+"""Figure 7: % change in mispredicted conditional branches under promotion."""
+
+from conftest import run_once
+
+from repro.experiments import figure7_rows
+from repro.report import format_table
+
+
+def bench_fig7_mispred_change(benchmark, emit):
+    rows = run_once(benchmark, figure7_rows)
+    text = format_table(
+        ["Benchmark", "thr=64 (%)", "thr=128 (%)", "thr=256 (%)"],
+        [[r["benchmark"], r["threshold=64"], r["threshold=128"], r["threshold=256"]]
+         for r in rows],
+        title="Figure 7. Percent change in mispredicted conditional branches\n"
+              "vs baseline (faults count as mispredictions; paper: mostly\n"
+              "negative, gcc/go about -20% at threshold 64)",
+    )
+    emit("fig7", text)
+    # Promotion reduces mispredictions for a majority of benchmarks.
+    improved = sum(1 for r in rows if r["threshold=64"] < 0)
+    assert improved >= len(rows) // 2
+    # Average change is a reduction.
+    mean64 = sum(r["threshold=64"] for r in rows) / len(rows)
+    assert mean64 < 2.0

@@ -1,0 +1,25 @@
+"""Table 2: average effective fetch rate vs promotion threshold."""
+
+from conftest import run_once
+
+from repro.experiments import table2_rows
+from repro.report import format_table
+
+
+def bench_table2_promotion_threshold(benchmark, emit):
+    rows = run_once(benchmark, table2_rows)
+    text = format_table(
+        ["Configuration", "Ave effective fetch rate"],
+        [[r["configuration"], r["efr"]] for r in rows],
+        title="Table 2. Effective fetch rate with and without branch promotion\n"
+              "(paper: icache 5.11, baseline 10.67, threshold=64 11.40)",
+    )
+    emit("table2", text)
+    efr = {r["configuration"]: r["efr"] for r in rows}
+    # The trace cache roughly doubles the icache's fetch rate.
+    assert efr["baseline"] > 1.5 * efr["icache"]
+    # Promotion at the paper's default threshold does not hurt on average.
+    assert efr["threshold = 64"] > 0.98 * efr["baseline"]
+    # The sweep is flat-ish: no threshold collapses.
+    values = [v for k, v in efr.items() if k.startswith("threshold")]
+    assert max(values) - min(values) < 0.15 * efr["baseline"]

@@ -1,0 +1,24 @@
+"""Table 3: dynamic predictions required per fetch cycle."""
+
+from conftest import run_once
+
+from repro.experiments import table3_rows
+from repro.report import format_table
+
+
+def bench_table3_predictions_per_fetch(benchmark, emit):
+    rows = run_once(benchmark, table3_rows)
+    text = format_table(
+        ["Configuration", "0 or 1 predictions", "2", "3"],
+        [[r["configuration"], f"{100 * r['0 or 1']:.0f}%", f"{100 * r['2']:.0f}%",
+          f"{100 * r['3']:.0f}%"] for r in rows],
+        title="Table 3. Predictions required each fetch cycle, averaged over\n"
+              "all benchmarks (paper: baseline 54/18/28, threshold=64 85/12/3)",
+    )
+    emit("table3", text)
+    base, promo = rows
+    # The paper's headline: with promotion ~85% of fetches need <=1
+    # prediction; ours must show the same strong shift.
+    assert promo["0 or 1"] >= base["0 or 1"] + 0.15
+    assert promo["0 or 1"] >= 0.70
+    assert promo["3"] <= base["3"]

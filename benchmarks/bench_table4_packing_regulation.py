@@ -1,0 +1,37 @@
+"""Table 4: regulating trace-packing redundancy (miss-cycle inflation)."""
+
+from conftest import run_once
+
+from repro.experiments import table4_rows
+from repro.report import format_table
+
+
+def bench_table4_packing_regulation(benchmark, emit):
+    data = run_once(benchmark, table4_rows)
+    rows = data["rows"]
+    text = format_table(
+        ["Benchmark", "unreg (%)", "cost-reg (%)", "n=2 (%)", "n=4 (%)",
+         "unreg TCmiss (%)", "cost-reg TCmiss (%)"],
+        [[r["benchmark"], r["unreg"], r["cost-reg"], r["n=2"], r["n=4"],
+          r["unreg_tc_miss"], r["cost-reg_tc_miss"]] for r in rows],
+        title="Table 4. Percent increase in cache-miss cycles (and trace-cache\n"
+              "misses) of packing over the promotion configuration\n"
+              "(paper: unreg +27..96% miss cycles; regulation cuts it sharply)",
+    )
+    avg = data["avg_efr"]
+    summary = ("Ave effective fetch rate: " +
+               ", ".join(f"{k} {v:.2f}" for k, v in avg.items()) +
+               "  (paper: unreg 12.47, cost-reg 12.23, n=2 12.42, n=4 12.18)")
+    emit("table4", text + "\n\n" + summary)
+
+    # Unregulated packing inflates trace-cache misses; cost regulation
+    # cuts the inflation on every benchmark.  (With recovery-resynchronized
+    # filling the inflation is ~+12..20% at our run lengths rather than the
+    # paper's +27..96% miss cycles; see EXPERIMENTS.md.)
+    for r in rows:
+        assert r["unreg_tc_miss"] > 5.0
+        assert r["cost-reg_tc_miss"] < r["unreg_tc_miss"]
+    # Cost regulation also keeps the fetch rate competitive, and the EFR
+    # ordering matches the paper: unreg >= n=2 >= cost-reg >= n=4 (loosely).
+    assert avg["cost-reg"] > 0.95 * avg["unreg"]
+    assert avg["unreg"] >= avg["n=4"]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""End-to-end IPC on the cycle-level machine (the paper's Figs. 11 and 16).
+
+Runs the full out-of-order machine — checkpoint repair, wrong-path
+execution, inactive issue — under three front ends and both memory
+schedulers, showing the paper's central finding: the front-end techniques'
+gain is capped by the execution core until memory disambiguation is
+aggressive.
+
+Run:  python examples/end_to_end_ipc.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import (
+    BASELINE,
+    ICACHE,
+    PROMOTION_COST_REG,
+    CoreConfig,
+    MachineConfig,
+    generate_program,
+    simulate_machine,
+)
+from repro.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+
+    program = generate_program(benchmark)
+    rows = []
+    for core_label, perfect in (("conservative", False), ("perfect disambiguation", True)):
+        for fe_label, frontend in (("icache", ICACHE), ("baseline TC", BASELINE),
+                                   ("promo+pack", PROMOTION_COST_REG)):
+            config = MachineConfig(
+                frontend=frontend,
+                core=CoreConfig(perfect_disambiguation=perfect),
+            )
+            result = simulate_machine(program, config, max_instructions=budget)
+            rows.append([
+                core_label, fe_label, result.ipc,
+                result.total_mispredicted_branches,
+                result.avg_resolution_time,
+                result.cycles,
+            ])
+            print(f"  ran {fe_label:12} / {core_label:22} "
+                  f"IPC={result.ipc:.2f}")
+
+    print()
+    print(format_table(
+        ["Memory scheduler", "Front end", "IPC", "Mispredicted", "Resolve (cyc)",
+         "Cycles"],
+        rows,
+        title=f"End-to-end performance on '{benchmark}' ({budget} instructions)",
+    ))
+    print("\nThe paper: promotion+packing gains only ~4% on the conservative "
+          "core because misprediction resolution time grows; with perfect "
+          "memory disambiguation the gain reaches ~11%.")
+
+
+if __name__ == "__main__":
+    main()

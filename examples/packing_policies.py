@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Trace-packing policy comparison (the paper's Table 4, one benchmark).
+
+Compares the fill unit's block policies — atomic, unregulated packing,
+chunked (n=2/4) and cost-regulated packing — on a big-footprint benchmark
+where the redundancy cost matters.  Reports effective fetch rate and
+trace-cache behaviour per policy.
+
+Run:  python examples/packing_policies.py [benchmark] [instructions]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import (
+    PROMOTION,
+    FrontEndSimulator,
+    compute_oracle,
+    generate_program,
+)
+from repro.report import format_table
+from repro.trace.fill_unit import PackingPolicy
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "tex"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+
+    program = generate_program(benchmark)
+    oracle = compute_oracle(program, budget)
+
+    rows = []
+    baseline_misses = None
+    for policy in (PackingPolicy.ATOMIC, PackingPolicy.UNREGULATED,
+                   PackingPolicy.CHUNK2, PackingPolicy.CHUNK4,
+                   PackingPolicy.COST_REGULATED):
+        config = replace(PROMOTION, packing=policy)
+        result = FrontEndSimulator(program, config, oracle=oracle).run()
+        if baseline_misses is None:
+            baseline_misses = max(1, result.tc_misses)
+        hit_rate = result.tc_hits / max(1, result.tc_hits + result.tc_misses)
+        rows.append([
+            policy.value,
+            result.effective_fetch_rate,
+            f"{100 * hit_rate:.1f}%",
+            result.tc_misses,
+            f"{100 * (result.tc_misses / baseline_misses - 1):+.1f}%",
+            result.stats.cache_miss_cycles,
+        ])
+
+    print(format_table(
+        ["Fill policy", "EFR", "TC hit rate", "TC misses", "miss change",
+         "icache stall cycles"],
+        rows,
+        title=f"Packing policies on '{benchmark}' with promotion@64 "
+              f"({budget} instructions)",
+    ))
+    print("\nUnregulated packing buys fetch rate at the cost of redundancy "
+          "misses; cost regulation (the paper's recommendation, used for "
+          "its end-to-end results) keeps most of the benefit at a fraction "
+          "of the miss inflation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: measure what branch promotion and trace packing buy.
+
+Generates the synthetic ``gcc`` workload, runs the oracle-driven front-end
+simulator under the paper's five configurations, and prints the effective
+fetch rates — a one-benchmark slice of the paper's Figure 10.
+
+Run:  python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import (
+    BASELINE,
+    ICACHE,
+    PACKING,
+    PROMOTION,
+    PROMOTION_PACKING,
+    FrontEndSimulator,
+    compute_oracle,
+    generate_program,
+)
+from repro.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+
+    print(f"Generating the synthetic '{benchmark}' workload ...")
+    program = generate_program(benchmark)
+    print(f"  {len(program)} static instructions, "
+          f"{len(program.data)} initialized data words")
+
+    print(f"Computing the correct-path stream ({budget} instructions) ...")
+    oracle = compute_oracle(program, budget)
+
+    configs = [
+        ("icache (reference)", ICACHE),
+        ("trace cache (baseline)", BASELINE),
+        ("+ trace packing", PACKING),
+        ("+ branch promotion", PROMOTION),
+        ("+ promotion + packing", PROMOTION_PACKING),
+    ]
+    rows = []
+    baseline_efr = None
+    for label, config in configs:
+        result = FrontEndSimulator(program, config, oracle=oracle).run()
+        efr = result.effective_fetch_rate
+        if label.startswith("trace cache"):
+            baseline_efr = efr
+        change = ("" if baseline_efr is None
+                  else f"{100 * (efr / baseline_efr - 1):+.1f}%")
+        rows.append([label, efr,
+                     f"{100 * result.stats.cond_mispredict_rate:.1f}%",
+                     result.promotions, change])
+
+    print()
+    print(format_table(
+        ["Front end", "Eff. fetch rate", "Mispredict", "Promotions", "vs baseline"],
+        rows,
+        title=f"Effective fetch rate on '{benchmark}' "
+              f"({budget} retired instructions)",
+    ))
+    print("\nThe paper reports +17% for promotion+packing over the baseline "
+          "averaged over 15 benchmarks (our scaled runs land lower; see "
+          "EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

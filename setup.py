@@ -1,0 +1,16 @@
+"""Legacy setup shim for environments without PEP 517 build isolation."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Patel, Evers & Patt (ISCA 1998): Improving Trace "
+        "Cache Effectiveness with Branch Promotion and Trace Packing"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

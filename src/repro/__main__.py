@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the benchmark suite and the named configurations;
+* ``run`` — simulate one benchmark under one configuration (front end by
+  default, ``--machine`` for the full cycle-level core);
+* ``experiment`` — regenerate one of the paper's tables or figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro import config as cfg
+from repro.config import CoreConfig, MachineConfig
+from repro.core.machine import Machine
+from repro.frontend.simulator import FrontEndSimulator
+from repro.report import format_bar_chart, format_table
+from repro.trace.fill_unit import PackingPolicy
+from repro.workloads import generate_program
+from repro.workloads.profiles import BENCHMARK_NAMES, get_profile
+
+CONFIGS = {
+    "icache": cfg.ICACHE,
+    "baseline": cfg.BASELINE,
+    "packing": cfg.PACKING,
+    "promotion": cfg.PROMOTION,
+    "promotion_packing": cfg.PROMOTION_PACKING,
+    "promotion_costreg": cfg.PROMOTION_COST_REG,
+}
+
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4",
+    "fig4", "fig6", "fig7", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+)
+
+
+def _cmd_list(_args) -> int:
+    rows = [[name, get_profile(name).paper_inst_count_m,
+             get_profile(name).default_dynamic, get_profile(name).description]
+            for name in BENCHMARK_NAMES]
+    print(format_table(["Benchmark", "Paper (M)", "Scaled run", "Description"],
+                       rows, title="Benchmarks"))
+    print("\nConfigurations: " + ", ".join(sorted(CONFIGS)))
+    print("Experiments:    " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _build_config(args):
+    config = CONFIGS[args.config]
+    if args.threshold is not None:
+        config = replace(config, promote=True, promote_threshold=args.threshold)
+    if args.packing_policy is not None:
+        config = replace(config, packing=PackingPolicy(args.packing_policy))
+    if args.static_promotion:
+        config = replace(config, promote=False, promote_static=True)
+    if args.path_assoc:
+        config = replace(config, path_associativity=True)
+    if args.no_inactive_issue:
+        config = replace(config, inactive_issue=False)
+    return config
+
+
+def _cmd_run(args) -> int:
+    program = generate_program(args.benchmark)
+    config = _build_config(args)
+    n = args.instructions or get_profile(args.benchmark).default_dynamic
+    if args.machine:
+        machine_config = MachineConfig(
+            frontend=config,
+            core=CoreConfig(perfect_disambiguation=args.perfect_memory),
+        )
+        result = Machine(program, machine_config, max_instructions=n).run()
+        print(format_table(
+            ["Metric", "Value"],
+            [["benchmark", args.benchmark],
+             ["configuration", machine_config.describe()],
+             ["retired instructions", result.retired],
+             ["cycles", result.cycles],
+             ["IPC", result.ipc],
+             ["conditional branches", result.cond_branches],
+             ["promoted executions", result.promoted_branches],
+             ["mispredicted branches", result.total_mispredicted_branches],
+             ["avg resolution time", result.avg_resolution_time],
+             ["trace cache hits/misses", f"{result.tc_hits}/{result.tc_misses}"]],
+            title="Machine simulation",
+        ))
+        print()
+        print(format_bar_chart(
+            {k.value: v for k, v in result.cycle_accounting.items()},
+            title="Cycle accounting", fmt="{:8d}",
+        ))
+    else:
+        result = FrontEndSimulator(program, config, max_instructions=n).run()
+        stats = result.stats
+        print(format_table(
+            ["Metric", "Value"],
+            [["benchmark", args.benchmark],
+             ["configuration", config.describe()],
+             ["retired instructions", result.instructions_retired],
+             ["fetches", stats.fetches],
+             ["effective fetch rate", result.effective_fetch_rate],
+             ["cond mispredict rate", f"{100 * stats.cond_mispredict_rate:.2f}%"],
+             ["promoted executions", stats.promoted_branches],
+             ["promotions/demotions", f"{result.promotions}/{result.demotions}"],
+             ["promoted faults", stats.promoted_faults],
+             ["trace cache hits/misses", f"{result.tc_hits}/{result.tc_misses}"]],
+            title="Front-end simulation",
+        ))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import paper
+
+    name = args.name
+    if name == "table1":
+        rows = paper.table1_rows()
+    elif name == "table2":
+        rows = paper.table2_rows()
+    elif name == "table3":
+        rows = paper.table3_rows()
+    elif name == "table4":
+        rows = paper.table4_rows()["rows"]
+    elif name in ("fig4", "fig6"):
+        config = cfg.BASELINE if name == "fig4" else cfg.PROMOTION
+        data = paper.fetch_breakdown("gcc", config)
+        print(format_bar_chart({f"size {s}": f for (s, _r), f
+                                in sorted(data["histogram"].items())},
+                               title=f"{name}: gcc fetch sizes "
+                                     f"(avg {data['avg']:.2f})", fmt="{:6.3f}"))
+        return 0
+    elif name == "fig7":
+        rows = paper.figure7_rows()
+    elif name == "fig9":
+        rows = paper.figure9_rows()
+    elif name == "fig10":
+        rows = paper.figure10_rows()
+    elif name == "fig11":
+        rows = paper.figure11_rows()
+    elif name == "fig12":
+        rows = paper.figure12_rows()
+    elif name == "fig13":
+        rows = paper.figure13_rows()
+    elif name == "fig14":
+        rows = paper.figure14_rows()
+    elif name == "fig15":
+        rows = paper.figure15_rows()
+    elif name == "fig16":
+        rows = paper.figure16_rows()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows],
+                       title=name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Trace cache + branch promotion + trace packing "
+                    "(Patel, Evers & Patt, ISCA 1998) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmarks, configurations, experiments")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run.add_argument("--config", choices=sorted(CONFIGS), default="baseline")
+    run.add_argument("--instructions", type=int, default=None)
+    run.add_argument("--machine", action="store_true",
+                     help="run the full cycle-level machine")
+    run.add_argument("--perfect-memory", action="store_true",
+                     help="perfect memory disambiguation (with --machine)")
+    run.add_argument("--threshold", type=int, default=None,
+                     help="enable promotion at this bias threshold")
+    run.add_argument("--packing-policy",
+                     choices=[p.value for p in PackingPolicy], default=None)
+    run.add_argument("--static-promotion", action="store_true")
+    run.add_argument("--path-assoc", action="store_true")
+    run.add_argument("--no-inactive-issue", action="store_true")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=EXPERIMENTS)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Analysis utilities over simulation results and hardware structures.
+
+Tools a user studying trace caches actually reaches for:
+
+* :mod:`repro.analysis.branches` — classify a program's dynamic branch
+  population (bias, run structure, promotability at a given threshold);
+* :mod:`repro.analysis.tracecache` — inspect a trace cache's contents:
+  instruction duplication (the redundancy trace packing trades on),
+  fragmentation, and the segment mix by finalize reason;
+* :mod:`repro.analysis.timeline` — windowed time series of a front-end
+  run (fetch-rate warmup curves, promotion ramp).
+"""
+
+from repro.analysis.branches import BranchSiteProfile, profile_branches
+from repro.analysis.tracecache import RedundancyReport, redundancy_report
+from repro.analysis.timeline import Timeline, run_with_timeline
+
+__all__ = [
+    "BranchSiteProfile",
+    "profile_branches",
+    "RedundancyReport",
+    "redundancy_report",
+    "Timeline",
+    "run_with_timeline",
+]

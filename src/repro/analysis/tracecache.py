@@ -1,0 +1,81 @@
+"""Trace-cache content inspection: redundancy, fragmentation, segment mix.
+
+Trace packing's whole tradeoff is *instruction duplication* — "the primary
+cost of this redundancy is increased contention for trace cache lines"
+(paper section 5).  This module quantifies it for a live cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.trace.segment import MAX_SEGMENT_INSTRUCTIONS
+from repro.trace.trace_cache import TraceCache
+
+
+@dataclass
+class RedundancyReport:
+    """Snapshot statistics of a trace cache's resident contents."""
+
+    resident_segments: int
+    stored_instructions: int
+    unique_instructions: int
+    avg_segment_length: float
+    #: stored / unique: 1.0 = no duplication; packing pushes this up
+    duplication_factor: float
+    #: fraction of line capacity left unused by short segments
+    fragmentation: float
+    #: resident segments per finalize reason
+    reason_mix: Dict[str, int] = field(default_factory=dict)
+    #: distinct start addresses per instruction address (alignment spread)
+    max_copies_of_one_instruction: int = 0
+    promoted_branch_slots: int = 0
+    dynamic_branch_slots: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.resident_segments} segments, "
+            f"{self.stored_instructions} stored instructions over "
+            f"{self.unique_instructions} unique addresses "
+            f"(duplication x{self.duplication_factor:.2f}), "
+            f"avg length {self.avg_segment_length:.1f}, "
+            f"fragmentation {100 * self.fragmentation:.1f}%"
+        )
+
+
+def redundancy_report(cache: TraceCache) -> RedundancyReport:
+    """Inspect every resident segment and measure duplication."""
+    copies: Counter = Counter()
+    stored = 0
+    segments = 0
+    reason_mix: Counter = Counter()
+    promoted_slots = 0
+    dynamic_slots = 0
+    for ways in cache._sets:
+        for segment in ways:
+            segments += 1
+            stored += len(segment)
+            reason_mix[segment.finalize_reason.value] += 1
+            for inst in segment.instructions:
+                copies[inst.addr] += 1
+            for branch in segment.branches:
+                if branch.promoted:
+                    promoted_slots += 1
+                else:
+                    dynamic_slots += 1
+    unique = len(copies)
+    capacity_used = segments * MAX_SEGMENT_INSTRUCTIONS
+    return RedundancyReport(
+        resident_segments=segments,
+        stored_instructions=stored,
+        unique_instructions=unique,
+        avg_segment_length=stored / segments if segments else 0.0,
+        duplication_factor=stored / unique if unique else 0.0,
+        fragmentation=1.0 - stored / capacity_used if capacity_used else 0.0,
+        reason_mix=dict(reason_mix),
+        max_copies_of_one_instruction=max(copies.values()) if copies else 0,
+        promoted_branch_slots=promoted_slots,
+        dynamic_branch_slots=dynamic_slots,
+    )

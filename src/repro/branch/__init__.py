@@ -1,0 +1,42 @@
+"""Branch prediction structures.
+
+Implements every predictor the paper's machine models use:
+
+* the multiple branch predictor of Patel et al. (their Figure 3): a
+  gshare-indexed pattern history table of 16K rows, each row holding seven
+  2-bit counters arranged as a tree that yields up to three predictions per
+  cycle;
+* the restructured split-table variant (64K/16K/8K counters) the paper
+  proposes for use with branch promotion;
+* the icache reference configuration's hybrid predictor: gshare (15 bits of
+  global history) + PAs (15 bits of local history) with a selector;
+* return address stacks (ideal, as modeled in the paper, and a real one);
+* a last-target predictor for indirect jumps.
+"""
+
+from repro.branch.counters import SaturatingCounters
+from repro.branch.history import GlobalHistory
+from repro.branch.gshare import GsharePredictor
+from repro.branch.pas import PAsPredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.multiple import (
+    MultipleBranchPredictor,
+    SplitMultiplePredictor,
+    MultiPrediction,
+)
+from repro.branch.ras import IdealReturnAddressStack, ReturnAddressStack
+from repro.branch.indirect import LastTargetPredictor
+
+__all__ = [
+    "SaturatingCounters",
+    "GlobalHistory",
+    "GsharePredictor",
+    "PAsPredictor",
+    "HybridPredictor",
+    "MultipleBranchPredictor",
+    "SplitMultiplePredictor",
+    "MultiPrediction",
+    "IdealReturnAddressStack",
+    "ReturnAddressStack",
+    "LastTargetPredictor",
+]

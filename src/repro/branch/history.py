@@ -1,0 +1,36 @@
+"""Global branch history register with checkpoint/repair support."""
+
+from __future__ import annotations
+
+
+class GlobalHistory:
+    """A shift register of branch outcomes, newest in the low bit.
+
+    The fetch engine pushes *predicted* outcomes speculatively so that
+    back-to-back fetches index the predictor with up-to-date history; the
+    core snapshots the value at each checkpoint and restores it on a
+    misprediction, exactly as checkpoint-repair hardware would.
+
+    Promoted-branch outcomes are pushed too: the paper keeps them in the
+    global history "to maintain the integrity of the predictor's
+    information" even though they no longer update the pattern tables.
+    """
+
+    def __init__(self, bits: int):
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self.mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        self.value = ((self.value << 1) | int(taken)) & self.mask
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        self.value = snapshot & self.mask
+
+    def __index__(self) -> int:
+        return self.value

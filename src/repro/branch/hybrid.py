@@ -1,0 +1,69 @@
+"""Hybrid (tournament) predictor for the icache reference configuration.
+
+Per the paper's Section 3: a gshare component with 15 bits of global
+history, a PAs component with 15 bits of local history and a 4K-entry
+branch history table, and a selector accessed with the same 15-bit index as
+the gshare component (~32KB total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.counters import SaturatingCounters
+from repro.branch.gshare import GsharePredictor
+from repro.branch.pas import PAsPredictor
+
+
+@dataclass(frozen=True)
+class HybridPrediction:
+    """A prediction plus everything needed to update at resolve time."""
+
+    taken: bool
+    gshare_taken: bool
+    pas_taken: bool
+    gshare_index: int
+    pas_index: int
+    selector_index: int
+
+
+class HybridPredictor:
+    """gshare + PAs with a 2-bit chooser per gshare index."""
+
+    def __init__(self, history_bits: int = 15, bht_entries: int = 4096):
+        self.gshare = GsharePredictor(history_bits=history_bits)
+        self.pas = PAsPredictor(history_bits=history_bits, bht_entries=bht_entries)
+        # Selector counter high => trust gshare.
+        self.selector = SaturatingCounters(1 << history_bits, bits=2)
+
+    def predict(self, pc: int, history: int) -> HybridPrediction:
+        gshare_index = self.gshare.index(pc, history)
+        pas_index = self.pas.index(pc)
+        gshare_taken = self.gshare.counters.predict(gshare_index)
+        pas_taken = self.pas.counters.predict(pas_index)
+        use_gshare = self.selector.predict(gshare_index)
+        return HybridPrediction(
+            taken=gshare_taken if use_gshare else pas_taken,
+            gshare_taken=gshare_taken,
+            pas_taken=pas_taken,
+            gshare_index=gshare_index,
+            pas_index=pas_index,
+            selector_index=gshare_index,
+        )
+
+    def update(self, pc: int, prediction: HybridPrediction, taken: bool) -> None:
+        """Update both components and steer the selector toward the one
+        that was right (no movement when they agree)."""
+        self.gshare.update(prediction.gshare_index, taken)
+        self.pas.update(pc, prediction.pas_index, taken)
+        gshare_right = prediction.gshare_taken == taken
+        pas_right = prediction.pas_taken == taken
+        if gshare_right != pas_right:
+            self.selector.update(prediction.selector_index, gshare_right)
+
+    def storage_bits(self) -> int:
+        return (
+            self.gshare.storage_bits()
+            + self.pas.storage_bits()
+            + self.selector.storage_bits()
+        )

@@ -1,0 +1,35 @@
+"""Last-target prediction for indirect jumps (switch dispatch)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LastTargetPredictor:
+    """A tagged table mapping an indirect jump's PC to its last target.
+
+    A miss (no entry) means the front end has no target to fetch from —
+    accounted as a misfetch; a wrong target is discovered at execute like a
+    branch misprediction.
+    """
+
+    def __init__(self, entries: int = 1024):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._tags = [None] * entries
+        self._targets = [0] * entries
+
+    def _slot(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict(self, pc: int) -> Optional[int]:
+        slot = self._slot(pc)
+        if self._tags[slot] == pc:
+            return self._targets[slot]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        slot = self._slot(pc)
+        self._tags[slot] = pc
+        self._targets[slot] = target

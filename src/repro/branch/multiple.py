@@ -1,0 +1,117 @@
+"""Multiple branch predictors: up to three predictions per cycle.
+
+Two organizations, both from the paper:
+
+* :class:`MultipleBranchPredictor` — the baseline structure (their
+  Figure 3): a gshare-indexed PHT of 16K rows, each row holding seven 2-bit
+  counters arranged as a binary tree.  Counter 0 predicts the first branch
+  (B0); counters 1-2 predict B1 conditioned on B0's direction; counters 3-6
+  predict B2 conditioned on (B0, B1).  32KB of storage.
+
+* :class:`SplitMultiplePredictor` — the restructured variant the paper
+  proposes once branch promotion has made second and third predictions
+  rare: three separate gshare tables of 64K, 16K and 8K 2-bit counters for
+  B0, B1 and B2 respectively (24KB), spending most of the storage on the
+  prediction that nearly every fetch needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.branch.counters import SaturatingCounters
+from repro.branch.gshare import GsharePredictor
+
+#: Tree offsets: counter index of B_i given the actual/predicted outcomes of
+#: earlier branches in the same fetch.
+def _tree_counter_index(position: int, path: Tuple[bool, ...]) -> int:
+    if position == 0:
+        return 0
+    if position == 1:
+        return 1 + int(path[0])
+    if position == 2:
+        return 3 + (int(path[0]) << 1 | int(path[1]))
+    raise ValueError(f"position {position} out of range (max 3 predictions/cycle)")
+
+
+@dataclass(frozen=True)
+class MultiPrediction:
+    """Up to three predictions plus the state needed to update later.
+
+    ``indices[i]`` is the table/row index that produced prediction ``i``;
+    pass it back to :meth:`update` with the branch's position and the
+    *actual* outcomes of earlier same-fetch branches.
+    """
+
+    taken: Tuple[bool, bool, bool]
+    indices: Tuple[int, int, int]
+
+
+class MultipleBranchPredictor:
+    """The 7-counter-per-row gshare multiple branch predictor."""
+
+    MAX_PREDICTIONS = 3
+
+    def __init__(self, rows_bits: int = 14, history_bits: int | None = None):
+        if history_bits is None:
+            history_bits = rows_bits
+        self.rows_bits = rows_bits
+        self.history_bits = history_bits
+        self.rows = 1 << rows_bits
+        self._table = np.ones((self.rows, 7), dtype=np.int8)
+
+    def row_index(self, pc: int, history: int) -> int:
+        return (pc ^ (history & ((1 << self.history_bits) - 1))) & (self.rows - 1)
+
+    def predict(self, pc: int, history: int) -> MultiPrediction:
+        """Walk the counter tree using the predictions themselves."""
+        row = self.row_index(pc, history)
+        counters = self._table[row]
+        b0 = bool(counters[0] >= 2)
+        b1 = bool(counters[1 + int(b0)] >= 2)
+        b2 = bool(counters[3 + (int(b0) << 1 | int(b1))] >= 2)
+        return MultiPrediction(taken=(b0, b1, b2), indices=(row, row, row))
+
+    def update(self, index: int, position: int, path: Tuple[bool, ...], taken: bool) -> None:
+        """Train the counter B_position selected by the actual earlier outcomes."""
+        counter = _tree_counter_index(position, path)
+        value = self._table[index, counter]
+        if taken:
+            if value < 3:
+                self._table[index, counter] = value + 1
+        elif value > 0:
+            self._table[index, counter] = value - 1
+
+    def storage_bits(self) -> int:
+        return self.rows * 7 * 2
+
+
+class SplitMultiplePredictor:
+    """Three separate gshare tables sized 64K/16K/8K counters."""
+
+    MAX_PREDICTIONS = 3
+
+    def __init__(self, table_bits: Sequence[int] = (16, 14, 13), history_bits: int = 14):
+        self.tables = [GsharePredictor(history_bits=min(history_bits, bits), table_bits=bits)
+                       for bits in table_bits]
+        self.history_bits = history_bits
+
+    def predict(self, pc: int, history: int) -> MultiPrediction:
+        taken = []
+        indices = []
+        for table in self.tables:
+            index = table.index(pc, history)
+            taken.append(table.counters.predict(index))
+            indices.append(index)
+        return MultiPrediction(taken=tuple(taken), indices=tuple(indices))
+
+    def update(self, index: int, position: int, path: Tuple[bool, ...], taken: bool) -> None:
+        """``path`` is accepted for interface parity; the split tables
+        condition on position only."""
+        self.tables[position].update(index, taken)
+
+    def storage_bits(self) -> int:
+        return sum(table.storage_bits() for table in self.tables)

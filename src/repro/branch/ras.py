@@ -1,0 +1,54 @@
+"""Return address stacks.
+
+The paper models an *ideal* return address stack; a finite hardware stack
+is provided too for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class IdealReturnAddressStack:
+    """An unbounded, never-corrupted RAS — the paper's model.
+
+    Because it tracks calls/returns of the *fetched* (possibly wrong) path
+    with unlimited depth, the only way it could mispredict is wrong-path
+    corruption; the paper idealizes that away, and so do we by letting the
+    core checkpoint and restore the stack pointer (here: full stack state).
+    """
+
+    def __init__(self):
+        self._stack: List[int] = []
+
+    def push(self, return_address: int) -> None:
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def snapshot(self) -> tuple:
+        return tuple(self._stack)
+
+    def restore(self, snapshot: tuple) -> None:
+        self._stack = list(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class ReturnAddressStack(IdealReturnAddressStack):
+    """A finite circular RAS that loses the oldest entries on overflow."""
+
+    def __init__(self, depth: int = 32):
+        super().__init__()
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) == self.depth:
+            del self._stack[0]
+        self._stack.append(return_address)

@@ -1,0 +1,116 @@
+"""Configuration presets for every machine the paper evaluates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.mem.hierarchy import MemoryConfig
+from repro.trace.fill_unit import PackingPolicy
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Front-end structure and policy selection.
+
+    ``kind`` selects the datapath: ``"tc"`` (trace cache + supporting 4KB
+    icache) or ``"icache"`` (the reference single-block front end with a
+    128KB dual-ported icache and hybrid predictor).
+    """
+
+    kind: str = "tc"
+    # Trace cache geometry (paper: 2K lines, 4-way, 16 insts/line ~ 128KB).
+    tc_lines: int = 2048
+    tc_assoc: int = 4
+    # Fill-unit policy.
+    packing: PackingPolicy = PackingPolicy.ATOMIC
+    promote: bool = False
+    promote_threshold: int = 64
+    bias_entries: int = 8192
+    # Multiple branch predictor: "tree" = 16K x 7 2-bit counters (Fig. 3);
+    # "split" = separate 64K/16K/8K tables (the restructured variant).
+    predictor: str = "tree"
+    # Partial matching always truncates at a divergence; inactive issue
+    # (issuing the rest of the line dormant) is on in every paper
+    # configuration — the flag exists for ablation.
+    inactive_issue: bool = True
+    # Path associativity: allow multiple segments starting at the same
+    # address, selected by best prediction match (off in the paper).
+    path_associativity: bool = False
+    # Static promotion: profile the program once and promote strongly
+    # biased branches ahead of time instead of (not in addition to) using
+    # the dynamic bias table (the paper's section 4 closing discussion).
+    promote_static: bool = False
+    static_bias_threshold: float = 0.95
+    static_min_executions: int = 32
+    # Penalties used by the front-end-only simulator (cycles).
+    mispredict_penalty: int = 8
+    misfetch_penalty: int = 3
+    trap_penalty: int = 8
+
+    def describe(self) -> str:
+        if self.kind == "icache":
+            return "icache"
+        parts = ["tc"]
+        if self.promote:
+            parts.append(f"promo{self.promote_threshold}")
+        if self.packing is not PackingPolicy.ATOMIC:
+            parts.append(self.packing.value)
+        if self.predictor != "tree":
+            parts.append(self.predictor)
+        return "+".join(parts)
+
+
+#: The paper's named configurations.
+ICACHE = FrontEndConfig(kind="icache")
+BASELINE = FrontEndConfig(kind="tc")
+PACKING = FrontEndConfig(kind="tc", packing=PackingPolicy.UNREGULATED)
+PROMOTION = FrontEndConfig(kind="tc", promote=True, promote_threshold=64)
+PROMOTION_PACKING = FrontEndConfig(
+    kind="tc", promote=True, promote_threshold=64, packing=PackingPolicy.UNREGULATED
+)
+PROMOTION_COST_REG = FrontEndConfig(
+    kind="tc", promote=True, promote_threshold=64, packing=PackingPolicy.COST_REGULATED
+)
+
+
+def promotion_with_threshold(threshold: int) -> FrontEndConfig:
+    """Promotion-only configuration at a given bias threshold (Table 2)."""
+    return replace(PROMOTION, promote_threshold=threshold)
+
+
+def promotion_with_packing(policy: PackingPolicy) -> FrontEndConfig:
+    """Promotion at threshold 64 plus the given packing policy (Table 4)."""
+    return replace(PROMOTION, packing=policy)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order execution core parameters (paper section 3)."""
+
+    n_fus: int = 16
+    rs_per_fu: int = 64
+    fetch_width: int = 16
+    issue_width: int = 16
+    retire_width: int = 16
+    #: Conservative scheduling: no load may bypass a store with an unknown
+    #: address.  Perfect: loads wait only for same-address earlier stores.
+    perfect_disambiguation: bool = False
+    alu_latency: int = 1
+    mul_latency: int = 3
+    branch_latency: int = 1
+    checkpoints_per_cycle: int = 3
+    max_checkpoints: int = 64
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete machine: front end + memory + core."""
+
+    frontend: FrontEndConfig = BASELINE
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+
+    def describe(self) -> str:
+        suffix = "+perfmem" if self.core.perfect_disambiguation else ""
+        return self.frontend.describe() + suffix

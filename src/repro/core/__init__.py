@@ -1,0 +1,19 @@
+"""The out-of-order execution core and full-machine simulator.
+
+Models the paper's execution engine: a 4-stage pipeline (fetch, issue,
+schedule, execute — plus in-order retire), 16 universal function units
+each fed by a 64-entry reservation station ("node table"), checkpoint
+repair for branch misprediction and promoted-branch fault recovery (up to
+three checkpoints per cycle, one per fetch block), a memory scheduler that
+either refuses to let loads bypass stores with unknown addresses
+(conservative — the paper's base engine) or speculates all memory
+dependences perfectly (the paper's "ideal, aggressive" engine of
+Figure 16), and execution-driven wrong-path modeling: the machine really
+fetches, renames and executes down mispredicted paths until branches
+resolve.
+"""
+
+from repro.core.inflight import InFlight, Checkpoint, InstState
+from repro.core.machine import Machine, MachineResult
+
+__all__ = ["InFlight", "Checkpoint", "InstState", "Machine", "MachineResult"]

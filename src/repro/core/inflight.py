@@ -1,0 +1,115 @@
+"""In-flight instruction records, checkpoints, and fetch groups."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.isa.instruction import Instruction
+
+
+class InstState(enum.Enum):
+    """Lifecycle of an in-flight instruction in the window."""
+
+    DORMANT = "dormant"    # inactively issued; occupies the window, not runnable
+    WAITING = "waiting"    # dispatched, operands outstanding
+    READY = "ready"        # operands available, awaiting a function unit
+    MEM_BLOCKED = "memblk" # load waiting on the memory scheduler
+    EXECUTING = "exec"     # issued to a function unit
+    DONE = "done"          # completed
+    SQUASHED = "squashed"  # killed by recovery
+
+
+class FetchGroup:
+    """Shared bookkeeping for all instructions of one fetch.
+
+    Carries the retire-time actual outcomes of the fetch's dynamically
+    predicted branches so the multiple branch predictor can select the
+    right tree counter for B1/B2 updates.
+    """
+
+    __slots__ = ("fetch_id", "cycle", "actual_path", "retired_any")
+
+    def __init__(self, fetch_id: int, cycle: int):
+        self.fetch_id = fetch_id
+        self.cycle = cycle
+        self.actual_path: List[bool] = []
+        self.retired_any = False
+
+
+class Checkpoint:
+    """A checkpoint-repair snapshot taken at a fetch-block boundary.
+
+    Restores the speculative register file, rename table, global history
+    (pre-branch, so the repair can push the actual outcome), return address
+    stack, and the store/load queue high-water marks.
+    """
+
+    __slots__ = ("regs", "rename", "ghr_before", "ras_state", "sq_len", "lq_len",
+                 "seq", "resume_pc")
+
+    def __init__(self, regs, rename, ghr_before, ras_state, sq_len, lq_len, seq,
+                 resume_pc=None):
+        self.regs = regs
+        self.rename = rename
+        self.ghr_before = ghr_before
+        self.ras_state = ras_state
+        self.sq_len = sq_len
+        self.lq_len = lq_len
+        self.seq = seq
+        self.resume_pc = resume_pc
+
+
+class InFlight:
+    """One instruction in the machine's window."""
+
+    __slots__ = (
+        "seq", "inst", "group", "state", "fu",
+        "pending_srcs", "dependents", "cp_snapshot",
+        # functional results (filled at dispatch-time speculative execution)
+        "next_pc", "taken", "mem_addr", "value", "dest",
+        # branch metadata
+        "pred_record", "predicted_taken", "promoted", "static_dir",
+        "predicted_next", "checkpoint", "inactive_buffer",
+        # memory scheduling
+        "store_blockers", "forward_from", "addr_known",
+        # timing
+        "fetch_cycle", "dispatch_cycle", "complete_cycle",
+        "is_active",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, group: FetchGroup, fetch_cycle: int):
+        self.seq = seq
+        self.inst = inst
+        self.group = group
+        self.state = InstState.WAITING
+        self.fu = -1
+        self.pending_srcs = 0
+        self.dependents: List["InFlight"] = []
+        self.next_pc: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.mem_addr: Optional[int] = None
+        self.value: Optional[int] = None
+        self.dest: Optional[int] = None
+        self.pred_record = None
+        self.cp_snapshot = None
+        self.predicted_taken: Optional[bool] = None
+        self.promoted = False
+        self.static_dir: Optional[bool] = None
+        self.predicted_next: Optional[int] = None
+        self.checkpoint: Optional[Checkpoint] = None
+        self.inactive_buffer = None  # list of (inst, dir, promoted) past a divergence
+        self.store_blockers = 0
+        self.forward_from: Optional["InFlight"] = None
+        self.addr_known = False
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = -1
+        self.complete_cycle = -1
+        self.is_active = True
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is InstState.SQUASHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InFlight #{self.seq} {self.inst.disassemble()} {self.state.value}>"

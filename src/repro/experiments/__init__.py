@@ -1,0 +1,55 @@
+"""Paper experiment definitions: one function per table and figure.
+
+Every function returns plain data structures (lists of rows / dicts keyed
+by benchmark) that the benchmark harness prints and asserts on, and that
+EXPERIMENTS.md records.  Results are memoized per (benchmark, config,
+length) so the many figures that share runs do not recompute them.
+"""
+
+from repro.experiments.runner import (
+    get_program,
+    get_oracle,
+    frontend_result,
+    machine_result,
+    quick_scale,
+    clear_caches,
+)
+from repro.experiments.paper import (
+    table1_rows,
+    fetch_breakdown,
+    table2_rows,
+    figure7_rows,
+    table3_rows,
+    figure9_rows,
+    figure10_rows,
+    table4_rows,
+    figure11_rows,
+    figure12_rows,
+    figure13_rows,
+    figure14_rows,
+    figure15_rows,
+    figure16_rows,
+)
+
+__all__ = [
+    "get_program",
+    "get_oracle",
+    "frontend_result",
+    "machine_result",
+    "quick_scale",
+    "clear_caches",
+    "table1_rows",
+    "fetch_breakdown",
+    "table2_rows",
+    "figure7_rows",
+    "table3_rows",
+    "figure9_rows",
+    "figure10_rows",
+    "table4_rows",
+    "figure11_rows",
+    "figure12_rows",
+    "figure13_rows",
+    "figure14_rows",
+    "figure15_rows",
+    "figure16_rows",
+]

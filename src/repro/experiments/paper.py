@@ -1,0 +1,302 @@
+"""Every table and figure from the paper's evaluation, as data.
+
+Naming follows the paper: Table 1 (benchmarks), Figures 4/6 (fetch-size
+breakdowns), Table 2 (promotion threshold sweep), Figure 7 (misprediction
+change under promotion), Table 3 (predictions per fetch), Figure 9
+(packing), Figure 10 (all techniques), Table 4 (packing regulation),
+Figures 11-16 (full-machine results).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro import config as cfg
+from repro.config import CoreConfig, FrontEndConfig, MachineConfig
+from repro.experiments.runner import frontend_result, get_program, machine_result
+from repro.frontend.stats import CycleCategory, FetchReason
+from repro.trace.fill_unit import PackingPolicy
+from repro.workloads.profiles import BENCHMARK_NAMES, TABLE4_BENCHMARKS, get_profile
+
+#: The five front-end configurations of Figure 10, in paper order.
+FIG10_CONFIGS = [
+    ("icache", cfg.ICACHE),
+    ("baseline", cfg.BASELINE),
+    ("packing", cfg.PACKING),
+    ("promotion", cfg.PROMOTION),
+    ("promotion,packing", cfg.PROMOTION_PACKING),
+]
+
+#: Machine configurations for Figures 11-16, in paper order.
+def _machine_configs(perfect: bool) -> List:
+    core = CoreConfig(perfect_disambiguation=perfect)
+    return [
+        ("icache", MachineConfig(frontend=cfg.ICACHE, core=core)),
+        ("baseline", MachineConfig(frontend=cfg.BASELINE, core=core)),
+        ("promotion,packing", MachineConfig(frontend=cfg.PROMOTION_COST_REG, core=core)),
+    ]
+
+
+def _benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    return list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+
+
+def _pct_change(new: float, old: float) -> float:
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+# --------------------------------------------------------------- Table 1
+
+def table1_rows() -> List[dict]:
+    """The benchmark suite: paper's instruction counts and our scaled runs."""
+    rows = []
+    for name in BENCHMARK_NAMES:
+        profile = get_profile(name)
+        program = get_program(name)
+        rows.append({
+            "benchmark": name,
+            "paper_inst_count": f"{profile.paper_inst_count_m}M",
+            "input_set": profile.input_set,
+            "static_instructions": len(program),
+            "scaled_dynamic": profile.default_dynamic,
+            "description": profile.description,
+        })
+    return rows
+
+
+# -------------------------------------------------------- Figures 4 & 6
+
+def fetch_breakdown(benchmark: str = "gcc",
+                    config: FrontEndConfig = cfg.BASELINE) -> dict:
+    """Fetch-size histogram annotated with termination reasons.
+
+    Figure 4 is this with the baseline config; Figure 6 with promotion.
+    Returns {"histogram": {(size, reason): fraction}, "avg": float,
+    "reasons": {reason: fraction}}.
+    """
+    result = frontend_result(benchmark, config)
+    stats = result.stats
+    total = max(1, stats.fetches)
+    histogram = {
+        (size, reason): count / total
+        for (size, reason), count in sorted(
+            stats.size_reason_histogram.items(), key=lambda kv: kv[0][0]
+        )
+    }
+    reasons = {reason: count / total for reason, count in stats.reason_breakdown().items()}
+    return {
+        "benchmark": benchmark,
+        "histogram": histogram,
+        "avg": stats.effective_fetch_rate,
+        "reasons": reasons,
+    }
+
+
+# ---------------------------------------------------------------- Table 2
+
+def table2_rows(benchmarks: Optional[Sequence[str]] = None,
+                thresholds: Sequence[int] = (8, 16, 32, 64, 128, 256)) -> List[dict]:
+    """Average effective fetch rate: icache, baseline, promotion sweep."""
+    names = _benchmarks(benchmarks)
+
+    def avg_efr(config: FrontEndConfig) -> float:
+        rates = [frontend_result(b, config).effective_fetch_rate for b in names]
+        return sum(rates) / len(rates)
+
+    rows = [
+        {"configuration": "icache", "efr": avg_efr(cfg.ICACHE)},
+        {"configuration": "baseline", "efr": avg_efr(cfg.BASELINE)},
+    ]
+    for threshold in thresholds:
+        rows.append({
+            "configuration": f"threshold = {threshold}",
+            "efr": avg_efr(cfg.promotion_with_threshold(threshold)),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------- Figure 7
+
+def figure7_rows(benchmarks: Optional[Sequence[str]] = None,
+                 thresholds: Sequence[int] = (64, 128, 256)) -> List[dict]:
+    """Percent change in mispredicted conditional branches vs baseline.
+
+    Promoted-branch faults count as mispredictions, as in the paper.
+    """
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = frontend_result(name, cfg.BASELINE).stats.total_cond_mispredicts
+        row = {"benchmark": name}
+        for threshold in thresholds:
+            promo = frontend_result(
+                name, cfg.promotion_with_threshold(threshold)
+            ).stats.total_cond_mispredicts
+            row[f"threshold={threshold}"] = _pct_change(promo, base)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------- Table 3
+
+def table3_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """Predictions required per fetch: baseline vs promotion@64."""
+    names = _benchmarks(benchmarks)
+    rows = []
+    for label, config in (("baseline", cfg.BASELINE), ("threshold = 64", cfg.PROMOTION)):
+        buckets = {"0 or 1": 0.0, "2": 0.0, "3": 0.0}
+        for name in names:
+            result = frontend_result(name, config)
+            for key, value in result.stats.predictions_buckets().items():
+                buckets[key] += value / len(names)
+        rows.append({"configuration": label, **buckets})
+    return rows
+
+
+# ------------------------------------------------------------ Figures 9/10
+
+def figure9_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """Effective fetch rate, baseline vs unregulated packing."""
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = frontend_result(name, cfg.BASELINE).effective_fetch_rate
+        pack = frontend_result(name, cfg.PACKING).effective_fetch_rate
+        rows.append({
+            "benchmark": name,
+            "baseline": base,
+            "packing": pack,
+            "pct_increase": _pct_change(pack, base),
+        })
+    return rows
+
+
+def figure10_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """Effective fetch rates for all five configurations."""
+    rows = []
+    for name in _benchmarks(benchmarks):
+        row = {"benchmark": name}
+        for label, config in FIG10_CONFIGS:
+            row[label] = frontend_result(name, config).effective_fetch_rate
+        row["pct_both_over_baseline"] = _pct_change(
+            row["promotion,packing"], row["baseline"]
+        )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------- Table 4
+
+TABLE4_POLICIES = [
+    ("unreg", PackingPolicy.UNREGULATED),
+    ("cost-reg", PackingPolicy.COST_REGULATED),
+    ("n=2", PackingPolicy.CHUNK2),
+    ("n=4", PackingPolicy.CHUNK4),
+]
+
+
+def table4_rows(benchmarks: Optional[Sequence[str]] = None) -> dict:
+    """Packing regulation: % increase in cache miss cycles over promotion.
+
+    Also reports the trace-cache miss-count inflation (where the redundancy
+    signal is strongest at our scaled run lengths) and the average
+    effective fetch rate per policy, mirroring the paper's final row.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(TABLE4_BENCHMARKS)
+    rows = []
+    efr_sums = {label: 0.0 for label, _ in TABLE4_POLICIES}
+    for name in names:
+        promo = frontend_result(name, cfg.PROMOTION)
+        row = {"benchmark": name}
+        for label, policy in TABLE4_POLICIES:
+            result = frontend_result(name, cfg.promotion_with_packing(policy))
+            row[label] = _pct_change(result.stats.cache_miss_cycles,
+                                     max(1, promo.stats.cache_miss_cycles))
+            row[label + "_tc_miss"] = _pct_change(result.tc_misses, max(1, promo.tc_misses))
+        rows.append(row)
+    for label, policy in TABLE4_POLICIES:
+        rates = [
+            frontend_result(name, cfg.promotion_with_packing(policy)).effective_fetch_rate
+            for name in names
+        ]
+        efr_sums[label] = sum(rates) / len(rates)
+    return {"rows": rows, "avg_efr": efr_sums}
+
+
+# ----------------------------------------------------------- Figures 11-16
+
+def figure11_rows(benchmarks: Optional[Sequence[str]] = None,
+                  perfect: bool = False) -> List[dict]:
+    """IPC of icache / baseline / promotion+cost-regulated-packing machines.
+
+    ``perfect=True`` gives Figure 16 (ideal memory disambiguation).
+    """
+    rows = []
+    configs = _machine_configs(perfect)
+    for name in _benchmarks(benchmarks):
+        row = {"benchmark": name}
+        for label, machine_config in configs:
+            row[label] = machine_result(name, machine_config).ipc
+        row["pct_new_over_baseline"] = _pct_change(
+            row["promotion,packing"], row["baseline"]
+        )
+        row["pct_new_over_icache"] = _pct_change(row["promotion,packing"], row["icache"])
+        rows.append(row)
+    return rows
+
+
+def figure16_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """Figure 11 with the ideal aggressive execution engine."""
+    return figure11_rows(benchmarks, perfect=True)
+
+
+def figure12_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """Fetch-cycle accounting for the promotion+packing machine."""
+    rows = []
+    config = _machine_configs(False)[2][1]
+    for name in _benchmarks(benchmarks):
+        result = machine_result(name, config)
+        total = max(1, sum(result.cycle_accounting.values()))
+        row = {"benchmark": name}
+        for category in CycleCategory:
+            row[category.value] = 100.0 * result.cycle_accounting[category] / total
+        rows.append(row)
+    return rows
+
+
+def figure13_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """% change in fetch cycles lost to mispredictions, vs baseline."""
+    configs = _machine_configs(False)
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = machine_result(name, configs[1][1]).mispredict_lost_cycles
+        new = machine_result(name, configs[2][1]).mispredict_lost_cycles
+        rows.append({"benchmark": name, "pct_change": _pct_change(new, max(1, base))})
+    return rows
+
+
+def figure14_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """% change in mispredicted branches (conditional + indirect)."""
+    configs = _machine_configs(False)
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = machine_result(name, configs[1][1]).total_mispredicted_branches
+        new = machine_result(name, configs[2][1]).total_mispredicted_branches
+        rows.append({"benchmark": name, "pct_change": _pct_change(new, max(1, base))})
+    return rows
+
+
+def figure15_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
+    """% change in mispredicted-branch resolution time."""
+    configs = _machine_configs(False)
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = machine_result(name, configs[1][1]).avg_resolution_time
+        new = machine_result(name, configs[2][1]).avg_resolution_time
+        rows.append({
+            "benchmark": name,
+            "baseline_cycles": base,
+            "new_cycles": new,
+            "pct_change": _pct_change(new, max(0.001, base)),
+        })
+    return rows

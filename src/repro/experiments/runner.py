@@ -1,0 +1,121 @@
+"""Memoized simulation runners shared by every experiment.
+
+The oracle (correct-path) instruction stream is configuration-independent,
+so it is computed once per benchmark and replayed against every front-end
+configuration.  Machine runs are cached per (benchmark, config, length).
+
+Set the environment variable ``REPRO_QUICK=1`` to divide all run lengths
+by four (used for fast CI passes); ``REPRO_SCALE=<float>`` applies an
+arbitrary multiplier.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import FrontEndConfig, MachineConfig
+from repro.core.machine import Machine, MachineResult
+from repro.frontend.simulator import FrontEndResult, FrontEndSimulator, compute_oracle
+from repro.isa.program import Program
+from repro.workloads import generate_program
+from repro.workloads.profiles import get_profile
+
+_programs: Dict[str, Program] = {}
+_oracles: Dict[Tuple[str, int], list] = {}
+_frontend: Dict[Tuple[str, FrontEndConfig, int], FrontEndResult] = {}
+_machine: Dict[Tuple[str, MachineConfig, int], MachineResult] = {}
+
+
+def quick_scale() -> float:
+    """Run-length multiplier from the environment."""
+    if os.environ.get("REPRO_QUICK"):
+        return 0.25
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def clear_caches() -> None:
+    """Drop every memoized program, oracle and result."""
+    _programs.clear()
+    _oracles.clear()
+    _frontend.clear()
+    _machine.clear()
+
+
+def get_program(benchmark: str) -> Program:
+    """Memoized synthetic program for a paper benchmark."""
+    program = _programs.get(benchmark)
+    if program is None:
+        program = generate_program(benchmark)
+        _programs[benchmark] = program
+    return program
+
+
+def default_length(benchmark: str) -> int:
+    """Front-end run length for this benchmark, after env scaling."""
+    return max(5_000, int(get_profile(benchmark).default_dynamic * quick_scale()))
+
+
+def machine_length(benchmark: str) -> int:
+    """Machine runs are slower; use a third of the front-end budget."""
+    return max(5_000, default_length(benchmark) // 3)
+
+
+def get_oracle(benchmark: str, n: Optional[int] = None) -> list:
+    """Memoized correct-path instruction stream."""
+    if n is None:
+        n = default_length(benchmark)
+    key = (benchmark, n)
+    oracle = _oracles.get(key)
+    if oracle is None:
+        oracle = compute_oracle(get_program(benchmark), n)
+        _oracles[key] = oracle
+    return oracle
+
+
+def frontend_result(benchmark: str, config: FrontEndConfig,
+                    n: Optional[int] = None) -> FrontEndResult:
+    """Memoized oracle-driven front-end run."""
+    if n is None:
+        n = default_length(benchmark)
+    key = (benchmark, config, n)
+    result = _frontend.get(key)
+    if result is None:
+        simulator = FrontEndSimulator(
+            get_program(benchmark), config, oracle=get_oracle(benchmark, n)
+        )
+        result = simulator.run()
+        _frontend[key] = result
+    return result
+
+
+def machine_result(benchmark: str, config: MachineConfig,
+                   n: Optional[int] = None, warmup: bool = True) -> MachineResult:
+    """Cycle-level machine run with functional front-end warmup.
+
+    The pure-Python machine is ~4x slower than the oracle-driven front-end
+    simulator, so measured machine windows are short; without warmup they
+    would be dominated by predictor and trace-cache cold-start.  Standard
+    practice (SimpleScalar's fast-forwarding): train the front-end
+    structures functionally, then measure.
+    """
+    if n is None:
+        n = machine_length(benchmark)
+    key = (benchmark, config, n)
+    result = _machine.get(key)
+    if result is None:
+        program = get_program(benchmark)
+        engine = None
+        if warmup:
+            from repro.frontend.build import build_engine
+            engine = build_engine(program, config.frontend,
+                                  memory_config=config.memory)
+            FrontEndSimulator(program, config.frontend,
+                              oracle=get_oracle(benchmark), engine=engine).run()
+        result = Machine(program, config, max_instructions=n,
+                         engine=engine).run()
+        _machine[key] = result
+    return result

@@ -1,0 +1,103 @@
+"""Multi-seed runs: are the reproduction's effects seed-robust?
+
+The paper's workloads are fixed binaries; ours are seeded samples from
+per-benchmark distributions, so any claimed effect should hold across
+seeds, not just on the default one.  This module reruns a configuration
+pair over several generator seeds and reports the distribution of the
+effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.config import FrontEndConfig
+from repro.frontend.simulator import FrontEndResult, FrontEndSimulator, compute_oracle
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+
+
+@dataclass
+class SeedStudy:
+    """Per-seed values of one metric plus summary statistics."""
+
+    benchmark: str
+    metric: str
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def fraction_positive(self) -> float:
+        """Share of seeds where the metric is positive (for deltas)."""
+        if not self.values:
+            return 0.0
+        return sum(1 for v in self.values if v > 0) / len(self.values)
+
+    def summary(self) -> str:
+        return (f"{self.benchmark}/{self.metric}: mean {self.mean:.3f} "
+                f"± {self.std:.3f} (range {self.min:.3f}..{self.max:.3f}, "
+                f"n={len(self.values)})")
+
+
+def run_seeds(
+    benchmark: str,
+    config: FrontEndConfig,
+    seeds: Sequence[int],
+    metric: Callable[[FrontEndResult], float] = lambda r: r.effective_fetch_rate,
+    metric_name: str = "efr",
+    max_instructions: Optional[int] = None,
+) -> SeedStudy:
+    """Run one configuration over several generator seeds."""
+    profile = get_profile(benchmark)
+    n = max_instructions or profile.default_dynamic
+    values = []
+    for seed in seeds:
+        program = WorkloadGenerator(profile, seed=seed).generate()
+        result = FrontEndSimulator(program, config, max_instructions=n).run()
+        values.append(metric(result))
+    return SeedStudy(benchmark=benchmark, metric=metric_name, values=values)
+
+
+def seed_effect(
+    benchmark: str,
+    baseline: FrontEndConfig,
+    treatment: FrontEndConfig,
+    seeds: Sequence[int],
+    max_instructions: Optional[int] = None,
+) -> SeedStudy:
+    """Per-seed percentage change of the treatment's EFR over the baseline's.
+
+    Both configurations replay the *same* per-seed program and oracle, so
+    the comparison is paired.
+    """
+    profile = get_profile(benchmark)
+    n = max_instructions or profile.default_dynamic
+    deltas = []
+    for seed in seeds:
+        program = WorkloadGenerator(profile, seed=seed).generate()
+        oracle = compute_oracle(program, n)
+        base = FrontEndSimulator(program, baseline, oracle=oracle).run()
+        treat = FrontEndSimulator(program, treatment, oracle=oracle).run()
+        deltas.append(
+            100.0 * (treat.effective_fetch_rate / base.effective_fetch_rate - 1.0)
+        )
+    return SeedStudy(benchmark=benchmark, metric="efr_pct_change", values=deltas)

@@ -1,0 +1,39 @@
+"""The fetch engines and front-end simulation driver.
+
+Two front ends, matching the paper's two machine families:
+
+* :class:`TraceFetchEngine` — trace cache + supporting 4KB icache +
+  multiple branch predictor, with partial matching and inactive issue
+  always enabled (the paper's baseline), plus the fill unit feeding it;
+* :class:`ICacheFetchEngine` — the reference front end: a large dual-ported
+  instruction cache supplying one fetch block per cycle with a hybrid
+  gshare/PAs predictor.
+
+:class:`FrontEndSimulator` drives either engine against the oracle
+(correct-path) instruction stream and produces every front-end metric the
+paper reports: effective fetch rate, fetch-size histograms with
+termination reasons, predictions-per-fetch, misprediction counts, and
+cache-miss cycles.
+"""
+
+from repro.frontend.stats import (
+    FetchReason,
+    CycleCategory,
+    FetchStats,
+    FetchRecord,
+)
+from repro.frontend.fetch import FetchResult, PredRecord, TraceFetchEngine, ICacheFetchEngine
+from repro.frontend.simulator import FrontEndSimulator, FrontEndResult
+
+__all__ = [
+    "FetchReason",
+    "CycleCategory",
+    "FetchStats",
+    "FetchRecord",
+    "FetchResult",
+    "PredRecord",
+    "TraceFetchEngine",
+    "ICacheFetchEngine",
+    "FrontEndSimulator",
+    "FrontEndResult",
+]

@@ -1,0 +1,77 @@
+"""Factory: build a fetch engine (and its substrates) from a config."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.branch.multiple import MultipleBranchPredictor, SplitMultiplePredictor
+from repro.config import FrontEndConfig
+from repro.isa.program import Program
+from repro.mem.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.frontend.fetch import ICacheFetchEngine, TraceFetchEngine
+from repro.trace.bias_table import BranchBiasTable
+from repro.trace.fill_unit import FillUnit
+from repro.trace.trace_cache import TraceCache
+
+
+def build_memory(config: FrontEndConfig, memory_config: Optional[MemoryConfig] = None) -> MemoryHierarchy:
+    """Memory hierarchy for this front end.
+
+    The reference icache configuration replaces the 4KB supporting icache
+    with the paper's large dual-ported 128KB instruction cache.
+    """
+    base = memory_config or MemoryConfig()
+    if config.kind == "icache":
+        base = replace(base, l1i_bytes=128 * 1024, l1i_assoc=4)
+    return MemoryHierarchy(base)
+
+
+def build_predictor(config: FrontEndConfig):
+    """The multiple branch predictor organization the config names."""
+    if config.predictor == "tree":
+        return MultipleBranchPredictor(rows_bits=14)
+    if config.predictor == "split":
+        return SplitMultiplePredictor(table_bits=(16, 14, 13), history_bits=14)
+    raise ValueError(f"unknown predictor kind {config.predictor!r}")
+
+
+def build_engine(program: Program, config: FrontEndConfig,
+                 memory_config: Optional[MemoryConfig] = None):
+    """Construct the complete front end described by ``config``."""
+    memory = build_memory(config, memory_config)
+    if config.kind == "icache":
+        return ICacheFetchEngine(program, memory)
+    if config.kind != "tc":
+        raise ValueError(f"unknown front end kind {config.kind!r}")
+    trace_cache = TraceCache(n_lines=config.tc_lines, assoc=config.tc_assoc,
+                             path_assoc=config.path_associativity)
+    bias_table = (
+        BranchBiasTable(entries=config.bias_entries, threshold=config.promote_threshold)
+        if config.promote
+        else None
+    )
+    static_promotions = None
+    if config.promote_static:
+        from repro.trace.static_promotion import profile_biased_branches
+        static_promotions = profile_biased_branches(
+            program,
+            bias_threshold=config.static_bias_threshold,
+            min_executions=config.static_min_executions,
+        )
+    fill_unit = FillUnit(
+        trace_cache=trace_cache,
+        bias_table=bias_table,
+        policy=config.packing,
+        promote=config.promote,
+        static_promotions=static_promotions,
+    )
+    predictor = build_predictor(config)
+    return TraceFetchEngine(
+        program=program,
+        memory=memory,
+        trace_cache=trace_cache,
+        fill_unit=fill_unit,
+        predictor=predictor,
+        inactive_issue=config.inactive_issue,
+    )

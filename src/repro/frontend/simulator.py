@@ -1,0 +1,298 @@
+"""Oracle-driven front-end simulation.
+
+This driver replays the correct-path (oracle) instruction stream against a
+fetch engine, cycle by cycle, with fixed recovery penalties standing in for
+the back end.  It produces every *front-end* metric in the paper: effective
+fetch rate, the fetch-size/termination histograms (Figs. 4 and 6),
+predictions per fetch (Table 3), misprediction counts (Fig. 7), and cache
+miss cycles (Table 4).  End-to-end IPC and resolution-time results come
+from the full out-of-order machine in :mod:`repro.core`.
+
+Because the oracle stream is independent of front-end configuration it is
+computed once per benchmark and shared across every configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.config import FrontEndConfig
+from repro.frontend.build import build_engine
+from repro.frontend.fetch import FetchResult, TraceFetchEngine
+from repro.frontend.stats import CycleCategory, FetchReason, FetchRecord, FetchStats
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import Program
+
+#: One oracle element: (instruction, taken-or-None, next correct-path pc).
+OracleEntry = Tuple[Instruction, Optional[bool], int]
+
+
+def compute_oracle(program: Program, max_instructions: Optional[int]) -> List[OracleEntry]:
+    """Execute functionally and return the correct-path stream."""
+    executor = FunctionalExecutor(program, max_instructions=max_instructions)
+    return [(dyn.inst, dyn.result.taken, dyn.result.next_pc) for dyn in executor.run()]
+
+
+@dataclass
+class FrontEndResult:
+    """Everything one front-end run produced."""
+
+    benchmark: str
+    config: FrontEndConfig
+    stats: FetchStats
+    cycles: int
+    instructions_retired: int
+    recoveries: int
+    tc_hits: int = 0
+    tc_misses: int = 0
+    tc_writes: int = 0
+    fill_reasons: dict = field(default_factory=dict)
+    l1i_misses: int = 0
+    promotions: int = 0
+    demotions: int = 0
+
+    @property
+    def effective_fetch_rate(self) -> float:
+        return self.stats.effective_fetch_rate
+
+    @property
+    def fetch_ipc(self) -> float:
+        """Correct-path instructions per *cycle* (includes penalty cycles)."""
+        return self.instructions_retired / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _UsefulInst:
+    inst: Instruction
+    taken: Optional[bool]
+    promoted: bool
+    record: Optional[object]  # PredRecord for dynamically predicted branches
+
+
+class FrontEndSimulator:
+    """Drive one fetch engine over one benchmark's oracle stream."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: FrontEndConfig,
+        oracle: Optional[List[OracleEntry]] = None,
+        max_instructions: Optional[int] = 100_000,
+        engine=None,
+    ):
+        self.program = program
+        self.config = config
+        self.oracle = oracle if oracle is not None else compute_oracle(program, max_instructions)
+        self.engine = engine if engine is not None else build_engine(program, config)
+        self.fill_unit = getattr(self.engine, "fill_unit", None)
+        self.stats = FetchStats()
+        self._arch_ghr = 0
+        self._arch_ras: List[int] = []
+        self.cycles = 0
+        self.recoveries = 0
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> FrontEndResult:
+        oracle = self.oracle
+        n = len(oracle)
+        i = 0
+        pc = self.program.entry
+        while i < n:
+            result = self.engine.fetch(pc)
+            self.cycles += 1
+            if result.stall_cycles:
+                self.cycles += result.stall_cycles
+                self.stats.cycle_accounting[CycleCategory.CACHE_MISSES] += result.stall_cycles
+                self.stats.cache_miss_cycles += result.stall_cycles
+            if not result.active:
+                # Off-image fetch cannot happen on the correct path.
+                raise RuntimeError(f"empty fetch at pc={pc}")
+
+            useful, i, event = self._match(result, oracle, i, n)
+            self.stats.cycle_accounting[CycleCategory.USEFUL_FETCH] += 1
+            self._retire(useful, oracle, i)
+            self._record_fetch(result, useful, event)
+
+            if i >= n:
+                break
+            next_oracle_pc = oracle[i][0].addr
+            pc = self._advance(result, event, next_oracle_pc, useful)
+        return self._build_result()
+
+    # --------------------------------------------------------------- match
+
+    def _match(self, result: FetchResult, oracle, i: int, n: int):
+        """Walk the fetched instructions against the oracle stream.
+
+        Returns (useful instructions, new oracle index, event) where event
+        is one of None, "mispredict", "fault", "indirect", "misfetch".
+        """
+        useful: List[_UsefulInst] = []
+        event: Optional[str] = None
+        rec_ptr = 0
+        for idx, inst in enumerate(result.active):
+            if i >= n:
+                return useful, i, event
+            o_inst, o_taken, _o_next = oracle[i]
+            if o_inst.addr != inst.addr:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"fetch desync at {inst.addr} vs oracle {o_inst.addr}"
+                )
+            record = None
+            promoted = result.active_promoted[idx]
+            if inst.op.is_cond_branch and not promoted:
+                record = result.pred_records[rec_ptr]
+                rec_ptr += 1
+            useful.append(_UsefulInst(inst=inst, taken=o_taken, promoted=promoted, record=record))
+            i += 1
+            if inst.op.is_cond_branch:
+                fetch_dir = result.active_dirs[idx]
+                if fetch_dir != o_taken:
+                    event = "fault" if promoted else "mispredict"
+                    if promoted:
+                        self.stats.promoted_faults += 1
+                    else:
+                        self.stats.cond_mispredicts += 1
+                    if result.divergence and idx == len(result.active) - 1:
+                        # The trace disagreed with the (wrong) prediction, so
+                        # the inactively issued remainder is on the correct
+                        # path: it retires from this same fetch.
+                        i = self._consume_inactive(result, oracle, i, n, useful)
+                    return useful, i, event
+        # Every supplied direction matched; check the fetch's successor.
+        if i < n:
+            expected = oracle[i][0].addr
+            if result.next_pc is None:
+                event = "misfetch"
+            elif result.next_pc != expected:
+                # Only an indirect jump / return target can be wrong here.
+                event = "indirect"
+                self.stats.indirect_mispredicts += 1
+        return useful, i, event
+
+    def _consume_inactive(self, result: FetchResult, oracle, i: int, n: int,
+                          useful: List[_UsefulInst]) -> int:
+        for idx, inst in enumerate(result.inactive):
+            if i >= n:
+                return i
+            o_inst, o_taken, _o_next = oracle[i]
+            if o_inst.addr != inst.addr:
+                return i
+            promoted = result.inactive_promoted[idx]
+            useful.append(_UsefulInst(inst=inst, taken=o_taken, promoted=promoted, record=None))
+            i += 1
+            if inst.op.is_cond_branch and result.inactive_dirs[idx] != o_taken:
+                # The trace path itself leaves the correct path here; a
+                # second recovery folds into this one in the simple model.
+                if promoted:
+                    self.stats.promoted_faults += 1
+                else:
+                    self.stats.cond_mispredicts += 1
+                return i
+        return i
+
+    # -------------------------------------------------------------- retire
+
+    def _retire(self, useful: List[_UsefulInst], oracle, i_after: int) -> None:
+        path: List[bool] = []
+        oracle_index = i_after - len(useful)
+        for offset, entry in enumerate(useful):
+            inst = entry.inst
+            if self.fill_unit is not None:
+                self.fill_unit.retire(inst, entry.taken)
+            opclass = inst.op.opclass
+            if opclass is OpClass.COND_BRANCH:
+                self._arch_ghr = ((self._arch_ghr << 1) | int(entry.taken)) & self.engine.ghr.mask
+                if entry.promoted:
+                    self.stats.promoted_branches += 1
+                else:
+                    self.stats.cond_branches += 1
+                    if entry.record is not None:
+                        self.engine.train_branch(entry.record, entry.taken, tuple(path))
+                        path.append(entry.taken)
+            elif opclass is OpClass.CALL:
+                self._arch_ras.append(inst.fall_through)
+            elif opclass is OpClass.RETURN:
+                if self._arch_ras:
+                    self._arch_ras.pop()
+            elif opclass is OpClass.INDIRECT:
+                self.stats.indirect_jumps += 1
+                actual_target = oracle[oracle_index + offset][2]
+                self.engine.indirect.update(inst.addr, actual_target)
+
+    # ------------------------------------------------------------- account
+
+    def _record_fetch(self, result: FetchResult, useful: List[_UsefulInst],
+                      event: Optional[str]) -> None:
+        if event in ("mispredict", "fault"):
+            reason = FetchReason.MISPRED_BR
+        else:
+            reason = result.raw_reason
+        self.stats.record_fetch(
+            FetchRecord(
+                size=len(useful),
+                reason=reason,
+                predictions=result.predictions_used,
+                source=result.source,
+            )
+        )
+
+    def _advance(self, result: FetchResult, event: Optional[str],
+                 next_oracle_pc: int, useful: List[_UsefulInst]) -> int:
+        """Charge penalties, repair speculative state, pick the next pc."""
+        config = self.config
+        if event in ("mispredict", "fault", "indirect"):
+            self.cycles += config.mispredict_penalty
+            self.stats.cycle_accounting[CycleCategory.BRANCH_MISSES] += config.mispredict_penalty
+            self._repair()
+            self.recoveries += 1
+            pc = next_oracle_pc
+        elif event == "misfetch":
+            self.cycles += config.misfetch_penalty
+            self.stats.cycle_accounting[CycleCategory.MISFETCHES] += config.misfetch_penalty
+            self._repair()
+            pc = next_oracle_pc
+        else:
+            pc = result.next_pc
+            if pc != next_oracle_pc:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"predicted next pc {pc} != oracle {next_oracle_pc} without event"
+                )
+        if useful and useful[-1].inst.op.opclass is OpClass.TRAP:
+            self.cycles += config.trap_penalty
+            self.stats.cycle_accounting[CycleCategory.TRAPS] += config.trap_penalty
+        return pc
+
+    def _repair(self) -> None:
+        self.engine.restore((self._arch_ghr, tuple(self._arch_ras)))
+        if self.fill_unit is not None:
+            self.fill_unit.note_recovery()
+
+    # --------------------------------------------------------------- result
+
+    def _build_result(self) -> FrontEndResult:
+        if self.fill_unit is not None:
+            self.fill_unit.flush()
+        engine = self.engine
+        result = FrontEndResult(
+            benchmark=self.program.name,
+            config=self.config,
+            stats=self.stats,
+            cycles=self.cycles,
+            instructions_retired=self.stats.useful_instructions,
+            recoveries=self.recoveries,
+            l1i_misses=engine.memory.l1i.stats.misses,
+        )
+        if isinstance(engine, TraceFetchEngine):
+            result.tc_hits = engine.trace_cache.stats.hits
+            result.tc_misses = engine.trace_cache.stats.misses
+            result.tc_writes = engine.trace_cache.stats.writes
+            result.fill_reasons = dict(engine.fill_unit.finalize_reasons)
+            if engine.fill_unit.bias_table is not None:
+                result.promotions = engine.fill_unit.bias_table.promotions
+                result.demotions = engine.fill_unit.bias_table.demotions
+        return result

@@ -1,0 +1,31 @@
+"""A small RISC instruction set used by the simulator.
+
+The paper's experiments ran SPECint95 binaries compiled for the SimpleScalar
+PISA ISA.  This package provides the stand-in: a compact RISC ISA with real
+register/memory semantics, a two-pass assembler for writing programs by hand,
+and a functional executor used both standalone (oracle instruction streams)
+and speculatively inside the out-of-order core.
+"""
+
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.instruction import Instruction, NUM_REGS, REG_ZERO, REG_SP, REG_LINK
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.executor import ExecState, FunctionalExecutor, ExecResult, step_instruction
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "Instruction",
+    "Program",
+    "assemble",
+    "AssemblerError",
+    "ExecState",
+    "ExecResult",
+    "FunctionalExecutor",
+    "step_instruction",
+    "NUM_REGS",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_LINK",
+]

@@ -1,0 +1,243 @@
+"""A two-pass assembler for the simulator ISA.
+
+Syntax overview::
+
+            .data
+    arr:    .words 1 0 0 1 0      ; labelled word array
+    buf:    .space 64             ; 64 zero words
+            .text
+    main:   ADDI r1, r0, 10
+            ADDI r20, r0, arr     ; data labels resolve to word addresses
+    loop:   ADDI r1, r1, -1
+            BNE r1, r0, loop
+            CALL fn
+            HALT
+    fn:     RET
+
+Comments begin with ``;`` or ``#``.  Immediates may be decimal, hex
+(``0x...``), negative, a code label, or a data label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction, NUM_REGS
+from repro.isa.opcodes import Opcode, BRANCH_OPS, REG3_OPS, REG_IMM_OPS
+from repro.isa.program import Program
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or resolution error, with the line number."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_MNEMONICS: Dict[str, Opcode] = {op.mnemonic: op for op in Opcode}
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((r\d+)\)$")
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str):
+        self.source = source
+        self.name = name
+        self.symbols: Dict[str, int] = {}
+        self.data_symbols: Dict[str, int] = {}
+        self.data: Dict[int, int] = {}
+        # (line_no, opcode, operand strings, address)
+        self.pending: List[Tuple[int, Opcode, List[str], int]] = []
+        self.data_cursor = 0
+
+    def assemble(self) -> Program:
+        self._first_pass()
+        instructions = [self._resolve(entry) for entry in self.pending]
+        entry = self.symbols.get("main", 0)
+        program = Program(
+            instructions=instructions,
+            entry=entry,
+            data=self.data,
+            symbols=self.symbols,
+            data_symbols=self.data_symbols,
+            name=self.name,
+        )
+        program.validate_targets()
+        return program
+
+    # --- pass 1: collect labels and raw statements ----------------------
+
+    def _first_pass(self) -> None:
+        section = "text"
+        code_cursor = 0
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            match = _LABEL_DEF.match(line)
+            if match:
+                label = match.group(1)
+                if label in self.symbols or label in self.data_symbols:
+                    raise AssemblerError(line_no, f"duplicate label {label!r}")
+                if section == "text":
+                    self.symbols[label] = code_cursor
+                else:
+                    self.data_symbols[label] = self.data_cursor
+                line = line[match.end():].strip()
+                if not line:
+                    continue
+            if line.startswith("."):
+                section = self._directive(line_no, line, section)
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].upper()
+            opcode = _MNEMONICS.get(mnemonic)
+            if opcode is None:
+                raise AssemblerError(line_no, f"unknown mnemonic {parts[0]!r}")
+            if section != "text":
+                raise AssemblerError(line_no, "instruction outside .text section")
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            self.pending.append((line_no, opcode, operands, code_cursor))
+            code_cursor += 1
+
+    def _directive(self, line_no: int, line: str, section: str) -> str:
+        parts = line.split()
+        name = parts[0].lower()
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name in (".words", ".word"):
+            if section != "data":
+                raise AssemblerError(line_no, f"{name} outside .data section")
+            for token in parts[1:]:
+                self.data[self.data_cursor] = self._number(line_no, token)
+                self.data_cursor += 1
+            return section
+        if name == ".space":
+            if section != "data":
+                raise AssemblerError(line_no, ".space outside .data section")
+            if len(parts) != 2:
+                raise AssemblerError(line_no, ".space takes one count")
+            self.data_cursor += self._number(line_no, parts[1])
+            return section
+        raise AssemblerError(line_no, f"unknown directive {parts[0]!r}")
+
+    # --- pass 2: resolve operands ----------------------------------------
+
+    def _resolve(self, entry: Tuple[int, Opcode, List[str], int]) -> Instruction:
+        line_no, opcode, operands, addr = entry
+        try:
+            return self._build(line_no, opcode, operands, addr)
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(line_no, str(exc)) from exc
+
+    def _build(self, line_no: int, op: Opcode, ops: List[str], addr: int) -> Instruction:
+        if op in REG3_OPS:
+            self._arity(line_no, op, ops, 3)
+            return Instruction(addr, op, rd=self._reg(line_no, ops[0]),
+                               rs1=self._reg(line_no, ops[1]), rs2=self._reg(line_no, ops[2]))
+        if op in REG_IMM_OPS:
+            self._arity(line_no, op, ops, 3)
+            return Instruction(addr, op, rd=self._reg(line_no, ops[0]),
+                               rs1=self._reg(line_no, ops[1]), imm=self._value(line_no, ops[2]))
+        if op is Opcode.LUI:
+            self._arity(line_no, op, ops, 2)
+            return Instruction(addr, op, rd=self._reg(line_no, ops[0]),
+                               imm=self._value(line_no, ops[1]))
+        if op is Opcode.LD:
+            self._arity(line_no, op, ops, 2)
+            base, disp = self._mem_operand(line_no, ops[1])
+            return Instruction(addr, op, rd=self._reg(line_no, ops[0]), rs1=base, imm=disp)
+        if op is Opcode.ST:
+            self._arity(line_no, op, ops, 2)
+            base, disp = self._mem_operand(line_no, ops[1])
+            return Instruction(addr, op, rs1=base, rs2=self._reg(line_no, ops[0]), imm=disp)
+        if op in BRANCH_OPS:
+            self._arity(line_no, op, ops, 3)
+            return Instruction(addr, op, rs1=self._reg(line_no, ops[0]),
+                               rs2=self._reg(line_no, ops[1]),
+                               target=self._code_target(line_no, ops[2]))
+        if op in (Opcode.JMP, Opcode.CALL):
+            self._arity(line_no, op, ops, 1)
+            return Instruction(addr, op, target=self._code_target(line_no, ops[0]))
+        if op is Opcode.JR:
+            self._arity(line_no, op, ops, 1)
+            return Instruction(addr, op, rs1=self._reg(line_no, ops[0]))
+        self._arity(line_no, op, ops, 0)
+        return Instruction(addr, op)
+
+    @staticmethod
+    def _arity(line_no: int, op: Opcode, ops: List[str], expected: int) -> None:
+        if len(ops) != expected:
+            raise AssemblerError(line_no, f"{op.mnemonic} expects {expected} operands, got {len(ops)}")
+
+    @staticmethod
+    def _reg(line_no: int, token: str) -> int:
+        token = token.strip().lower()
+        if not token.startswith("r"):
+            raise AssemblerError(line_no, f"expected register, got {token!r}")
+        try:
+            number = int(token[1:])
+        except ValueError as exc:
+            raise AssemblerError(line_no, f"bad register {token!r}") from exc
+        if not 0 <= number < NUM_REGS:
+            raise AssemblerError(line_no, f"register {token!r} out of range")
+        return number
+
+    @staticmethod
+    def _number(line_no: int, token: str) -> int:
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise AssemblerError(line_no, f"bad number {token!r}") from exc
+
+    def _value(self, line_no: int, token: str) -> int:
+        """An immediate: a literal, code label, or data label."""
+        token = token.strip()
+        if token in self.data_symbols:
+            return self.data_symbols[token]
+        if token in self.symbols:
+            return self.symbols[token]
+        return self._number(line_no, token)
+
+    def _code_target(self, line_no: int, token: str) -> int:
+        token = token.strip()
+        if token in self.symbols:
+            return self.symbols[token]
+        return self._number(line_no, token)
+
+    def _mem_operand(self, line_no: int, token: str) -> Tuple[int, int]:
+        match = _MEM_OPERAND.match(token.strip().replace(" ", ""))
+        if not match:
+            raise AssemblerError(line_no, f"expected disp(reg), got {token!r}")
+        disp_token, reg_token = match.groups()
+        return self._reg(line_no, reg_token), self._value(line_no, disp_token)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    Execution starts at the ``main`` label when present, otherwise at
+    address 0.
+    """
+    return _Assembler(source, name).assemble()

@@ -1,0 +1,219 @@
+"""Functional (architectural) execution of programs.
+
+Two consumers share the same instruction semantics:
+
+* :class:`FunctionalExecutor` runs a program in order against architectural
+  state — used for oracle instruction streams, workload statistics, and
+  front-end-only simulations.
+* The out-of-order core calls :func:`step_instruction` directly with its own
+  speculative register file and store-queue-aware memory hooks, so wrong-path
+  instructions execute real semantics and are rolled back via checkpoint
+  repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.isa.instruction import Instruction, NUM_REGS, REG_LINK, REG_SP, REG_ZERO
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+#: Stack pointer initial value (word address); stacks grow downward.
+STACK_BASE = 1 << 24
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of executing one instruction.
+
+    Attributes:
+        next_pc: address of the next instruction on this path.
+        taken: for conditional branches, whether the branch was taken.
+        mem_addr: effective word address for loads/stores.
+        value: value written to ``dest`` (or stored, for ST).
+        dest: destination register actually written, or None.
+        halted: True after HALT.
+    """
+
+    next_pc: int
+    taken: Optional[bool] = None
+    mem_addr: Optional[int] = None
+    value: Optional[int] = None
+    dest: Optional[int] = None
+    halted: bool = False
+
+
+def step_instruction(
+    inst: Instruction,
+    regs: List[int],
+    read_mem: Callable[[int], int],
+    write_mem: Callable[[int, int], None],
+) -> ExecResult:
+    """Execute ``inst`` against ``regs`` and the given memory hooks.
+
+    ``regs`` is mutated in place (except r0, which stays zero).  Returns an
+    :class:`ExecResult` describing control flow and memory effects.
+    """
+    op = inst.op
+    next_pc = inst.fall_through
+    taken = None
+    mem_addr = None
+    value = None
+    dest = None
+
+    if op is Opcode.ADD:
+        value = (regs[inst.rs1] + regs[inst.rs2]) & _WORD_MASK
+    elif op is Opcode.SUB:
+        value = (regs[inst.rs1] - regs[inst.rs2]) & _WORD_MASK
+    elif op is Opcode.AND:
+        value = regs[inst.rs1] & regs[inst.rs2]
+    elif op is Opcode.OR:
+        value = regs[inst.rs1] | regs[inst.rs2]
+    elif op is Opcode.XOR:
+        value = regs[inst.rs1] ^ regs[inst.rs2]
+    elif op is Opcode.SHL:
+        value = (regs[inst.rs1] << (regs[inst.rs2] & 63)) & _WORD_MASK
+    elif op is Opcode.SHR:
+        value = (regs[inst.rs1] & _WORD_MASK) >> (regs[inst.rs2] & 63)
+    elif op is Opcode.SLT:
+        value = 1 if _to_signed(regs[inst.rs1]) < _to_signed(regs[inst.rs2]) else 0
+    elif op is Opcode.MUL:
+        value = (regs[inst.rs1] * regs[inst.rs2]) & _WORD_MASK
+    elif op is Opcode.ADDI:
+        value = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+    elif op is Opcode.ANDI:
+        value = regs[inst.rs1] & (inst.imm & _WORD_MASK)
+    elif op is Opcode.ORI:
+        value = regs[inst.rs1] | (inst.imm & _WORD_MASK)
+    elif op is Opcode.XORI:
+        value = regs[inst.rs1] ^ (inst.imm & _WORD_MASK)
+    elif op is Opcode.SLTI:
+        value = 1 if _to_signed(regs[inst.rs1]) < inst.imm else 0
+    elif op is Opcode.LUI:
+        value = (inst.imm << 16) & _WORD_MASK
+    elif op is Opcode.LD:
+        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+        value = read_mem(mem_addr) & _WORD_MASK
+    elif op is Opcode.ST:
+        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+        value = regs[inst.rs2] & _WORD_MASK
+        write_mem(mem_addr, value)
+    elif op is Opcode.BEQ:
+        taken = regs[inst.rs1] == regs[inst.rs2]
+    elif op is Opcode.BNE:
+        taken = regs[inst.rs1] != regs[inst.rs2]
+    elif op is Opcode.BLT:
+        taken = _to_signed(regs[inst.rs1]) < _to_signed(regs[inst.rs2])
+    elif op is Opcode.BGE:
+        taken = _to_signed(regs[inst.rs1]) >= _to_signed(regs[inst.rs2])
+    elif op is Opcode.JMP:
+        next_pc = inst.target
+    elif op is Opcode.CALL:
+        value = inst.fall_through
+        next_pc = inst.target
+    elif op is Opcode.RET:
+        next_pc = regs[REG_LINK] & _WORD_MASK
+    elif op is Opcode.JR:
+        next_pc = regs[inst.rs1] & _WORD_MASK
+    elif op in (Opcode.NOP, Opcode.TRAP):
+        pass
+    elif op is Opcode.HALT:
+        return ExecResult(next_pc=inst.addr, halted=True)
+    else:  # pragma: no cover - exhaustive over the opcode set
+        raise NotImplementedError(op)
+
+    if taken is not None:
+        next_pc = inst.target if taken else inst.fall_through
+
+    if value is not None and op is not Opcode.ST:
+        dest = inst.dest_reg()
+        if dest is not None:
+            regs[dest] = value
+
+    return ExecResult(next_pc=next_pc, taken=taken, mem_addr=mem_addr, value=value, dest=dest)
+
+
+@dataclass
+class ExecState:
+    """Architectural state: register file, data memory, PC."""
+
+    regs: List[int]
+    memory: Dict[int, int]
+    pc: int
+    halted: bool = False
+    instret: int = 0
+
+    @classmethod
+    def for_program(cls, program: Program) -> "ExecState":
+        regs = [0] * NUM_REGS
+        regs[REG_SP] = STACK_BASE
+        return cls(regs=regs, memory=dict(program.data), pc=program.entry)
+
+
+@dataclass(frozen=True)
+class DynInst:
+    """One element of the dynamic instruction stream."""
+
+    inst: Instruction
+    result: ExecResult
+    seq: int
+
+
+class FunctionalExecutor:
+    """In-order architectural execution of a :class:`Program`."""
+
+    def __init__(self, program: Program, max_instructions: Optional[int] = None):
+        self.program = program
+        self.state = ExecState.for_program(program)
+        self.max_instructions = max_instructions
+
+    def step(self) -> Optional[DynInst]:
+        """Execute one instruction; None once halted or off the image."""
+        state = self.state
+        if state.halted:
+            return None
+        if self.max_instructions is not None and state.instret >= self.max_instructions:
+            state.halted = True
+            return None
+        inst = self.program.fetch(state.pc)
+        if inst is None:
+            state.halted = True
+            return None
+        result = step_instruction(inst, state.regs, self._read_mem, self._write_mem)
+        dyn = DynInst(inst=inst, result=result, seq=state.instret)
+        state.instret += 1
+        if result.halted:
+            state.halted = True
+        else:
+            state.pc = result.next_pc
+        return dyn
+
+    def run(self) -> Iterator[DynInst]:
+        """Yield the dynamic instruction stream until halt."""
+        while True:
+            dyn = self.step()
+            if dyn is None:
+                return
+            yield dyn
+
+    def run_to_completion(self) -> int:
+        """Execute everything; return the retired instruction count."""
+        for _ in self.run():
+            pass
+        return self.state.instret
+
+    def _read_mem(self, addr: int) -> int:
+        return self.state.memory.get(addr, 0)
+
+    def _write_mem(self, addr: int, value: int) -> None:
+        self.state.memory[addr] = value

@@ -1,0 +1,129 @@
+"""The :class:`Instruction` record and register-file conventions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.opcodes import Opcode, BRANCH_OPS, REG3_OPS, REG_IMM_OPS
+
+#: Number of architectural integer registers.  ``r0`` is hard-wired to zero.
+NUM_REGS = 32
+
+#: Register hard-wired to zero.
+REG_ZERO = 0
+
+#: Stack-pointer convention used by generated code.
+REG_SP = 30
+
+#: Link register written by ``CALL`` and read by ``RET``.
+REG_LINK = 31
+
+#: Bytes per instruction; instruction caches index with ``addr * INST_BYTES``.
+INST_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Addresses are in instruction units: the instruction at address ``a`` is
+    followed sequentially by the instruction at ``a + 1``.  Multiply by
+    :data:`INST_BYTES` when indexing byte-addressed structures.
+
+    Attributes:
+        addr: static address of this instruction.
+        op: opcode.
+        rd: destination register (0 if none; writes to r0 are discarded).
+        rs1: first source register.
+        rs2: second source register.
+        imm: immediate / memory displacement.
+        target: static target address for direct control instructions.
+    """
+
+    addr: int
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGS:
+                raise ValueError(f"{name}={value} out of range for {self.op.mnemonic}")
+        if self.op.is_direct_control and self.target is None:
+            raise ValueError(f"{self.op.mnemonic} at {self.addr} requires a target")
+        # Cache the dataflow queries; they run in the dispatch hot path.
+        object.__setattr__(self, "_srcs", self._compute_src_regs())
+        object.__setattr__(self, "_dest", self._compute_dest_reg())
+
+    # --- dataflow helpers ------------------------------------------------
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.addr + 1
+
+    def src_regs(self) -> tuple:
+        """Architectural registers this instruction reads (r0 excluded)."""
+        return self._srcs
+
+    def dest_reg(self) -> Optional[int]:
+        """Architectural register this instruction writes, or None."""
+        return self._dest
+
+    def _compute_src_regs(self) -> tuple:
+        op = self.op
+        if op in REG3_OPS or op in BRANCH_OPS:
+            srcs = (self.rs1, self.rs2)
+        elif op in REG_IMM_OPS or op is Opcode.LD or op is Opcode.JR:
+            srcs = (self.rs1,)
+        elif op is Opcode.ST:
+            srcs = (self.rs1, self.rs2)  # address base, data
+        elif op is Opcode.RET:
+            srcs = (REG_LINK,)
+        else:
+            srcs = ()
+        return tuple(r for r in srcs if r != REG_ZERO)
+
+    def _compute_dest_reg(self) -> Optional[int]:
+        op = self.op
+        if op in REG3_OPS or op in REG_IMM_OPS or op in (Opcode.LD, Opcode.LUI):
+            return self.rd if self.rd != REG_ZERO else None
+        if op is Opcode.CALL:
+            return REG_LINK
+        return None
+
+    # --- presentation -----------------------------------------------------
+
+    def disassemble(self) -> str:
+        """Render this instruction in assembler syntax."""
+        op = self.op
+        if op in REG3_OPS:
+            return f"{op.mnemonic} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if op in REG_IMM_OPS:
+            return f"{op.mnemonic} r{self.rd}, r{self.rs1}, {self.imm}"
+        if op is Opcode.LUI:
+            return f"LUI r{self.rd}, {self.imm}"
+        if op is Opcode.LD:
+            return f"LD r{self.rd}, {self.imm}(r{self.rs1})"
+        if op is Opcode.ST:
+            return f"ST r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op in BRANCH_OPS:
+            return f"{op.mnemonic} r{self.rs1}, r{self.rs2}, {self.target}"
+        if op in (Opcode.JMP, Opcode.CALL):
+            return f"{op.mnemonic} {self.target}"
+        if op is Opcode.JR:
+            return f"JR r{self.rs1}"
+        return op.mnemonic
+
+    def __str__(self) -> str:
+        return f"{self.addr:6d}: {self.disassemble()}"
+
+
+def alu(op: Opcode, addr: int, rd: int, rs1: int, rs2: int = 0, imm: int = 0) -> Instruction:
+    """Convenience constructor for ALU instructions."""
+    return Instruction(addr=addr, op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)

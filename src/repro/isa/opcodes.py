@@ -1,0 +1,121 @@
+"""Opcode definitions and classification predicates.
+
+The classification here drives the whole front end: what terminates a fetch
+block, what terminates a trace segment, and what consumes branch-predictor
+bandwidth all derive from :class:`OpClass`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction classes used by the pipeline and fill unit."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    COND_BRANCH = "cond_branch"
+    JUMP = "jump"  # direct unconditional
+    CALL = "call"  # direct subroutine call
+    RETURN = "return"
+    INDIRECT = "indirect"  # indirect jump (e.g. switch tables)
+    TRAP = "trap"  # serializing instruction
+    HALT = "halt"
+    NOP = "nop"
+
+
+_CONTROL_CLASSES = frozenset(
+    {
+        OpClass.COND_BRANCH,
+        OpClass.JUMP,
+        OpClass.CALL,
+        OpClass.RETURN,
+        OpClass.INDIRECT,
+    }
+)
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the ISA, tagged with its :class:`OpClass`."""
+
+    # Three-register ALU operations.
+    ADD = ("ADD", OpClass.ALU)
+    SUB = ("SUB", OpClass.ALU)
+    AND = ("AND", OpClass.ALU)
+    OR = ("OR", OpClass.ALU)
+    XOR = ("XOR", OpClass.ALU)
+    SHL = ("SHL", OpClass.ALU)
+    SHR = ("SHR", OpClass.ALU)
+    SLT = ("SLT", OpClass.ALU)
+    MUL = ("MUL", OpClass.MUL)
+
+    # Register-immediate ALU operations.
+    ADDI = ("ADDI", OpClass.ALU)
+    ANDI = ("ANDI", OpClass.ALU)
+    ORI = ("ORI", OpClass.ALU)
+    XORI = ("XORI", OpClass.ALU)
+    SLTI = ("SLTI", OpClass.ALU)
+    LUI = ("LUI", OpClass.ALU)
+
+    # Memory.
+    LD = ("LD", OpClass.LOAD)
+    ST = ("ST", OpClass.STORE)
+
+    # Control.
+    BEQ = ("BEQ", OpClass.COND_BRANCH)
+    BNE = ("BNE", OpClass.COND_BRANCH)
+    BLT = ("BLT", OpClass.COND_BRANCH)
+    BGE = ("BGE", OpClass.COND_BRANCH)
+    JMP = ("JMP", OpClass.JUMP)
+    CALL = ("CALL", OpClass.CALL)
+    RET = ("RET", OpClass.RETURN)
+    JR = ("JR", OpClass.INDIRECT)
+
+    # Miscellaneous.
+    TRAP = ("TRAP", OpClass.TRAP)
+    NOP = ("NOP", OpClass.NOP)
+    HALT = ("HALT", OpClass.HALT)
+
+    def __init__(self, mnemonic: str, opclass: OpClass):
+        self.mnemonic = mnemonic
+        self.opclass = opclass
+        # Classification flags are precomputed plain attributes: they are
+        # consulted millions of times per simulation, so property-call
+        # overhead matters.
+        #: conditional branch
+        self.is_cond_branch = opclass is OpClass.COND_BRANCH
+        #: any instruction that can redirect the PC
+        self.is_control = opclass in _CONTROL_CLASSES
+        self.is_uncond_control = opclass in (
+            OpClass.JUMP, OpClass.CALL, OpClass.RETURN, OpClass.INDIRECT)
+        #: control with a statically known target
+        self.is_direct_control = opclass in (
+            OpClass.COND_BRANCH, OpClass.JUMP, OpClass.CALL)
+        self.is_indirect_control = opclass in (OpClass.RETURN, OpClass.INDIRECT)
+        self.is_load = opclass is OpClass.LOAD
+        self.is_store = opclass is OpClass.STORE
+        self.is_mem = opclass in (OpClass.LOAD, OpClass.STORE)
+        #: traps serialize the pipeline and terminate trace segments
+        self.is_serializing = opclass is OpClass.TRAP
+        #: a fetch block runs from the current fetch address to the next
+        #: control instruction (traps and halt serialize, ending it too)
+        self.ends_fetch_block = self.is_control or opclass in (OpClass.TRAP, OpClass.HALT)
+        #: returns, indirect branches and serializing instructions force the
+        #: fill unit to finalize a segment; branches, jumps and calls do not
+        self.ends_trace_segment = opclass in (
+            OpClass.RETURN, OpClass.INDIRECT, OpClass.TRAP, OpClass.HALT)
+
+
+#: Opcodes whose textual form takes ``rd, rs1, rs2``.
+REG3_OPS = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SLT, Opcode.MUL}
+)
+
+#: Opcodes whose textual form takes ``rd, rs1, imm``.
+REG_IMM_OPS = frozenset({Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI})
+
+#: Conditional-branch opcodes (``rs1, rs2, target``).
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})

@@ -1,0 +1,82 @@
+"""The :class:`Program` container: code image, initial data, symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class Program:
+    """A fully resolved executable image.
+
+    Attributes:
+        instructions: code image; ``instructions[a].addr == a`` for all a.
+        entry: address of the first instruction to execute.
+        data: initial contents of word-addressed data memory.
+        symbols: code labels -> addresses.
+        data_symbols: data labels -> word addresses.
+        name: human-readable identifier (benchmark name or file stem).
+    """
+
+    instructions: List[Instruction]
+    entry: int = 0
+    data: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    data_symbols: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self):
+        for index, inst in enumerate(self.instructions):
+            if inst.addr != index:
+                raise ValueError(
+                    f"instruction {index} has addr {inst.addr}; the code image must be dense"
+                )
+        if self.instructions and not 0 <= self.entry < len(self.instructions):
+            raise ValueError(f"entry {self.entry} outside code image")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, addr: int) -> Optional[Instruction]:
+        """Instruction at ``addr`` or None when the address is off the image."""
+        if 0 <= addr < len(self.instructions):
+            return self.instructions[addr]
+        return None
+
+    # --- static statistics ------------------------------------------------
+
+    def static_cond_branches(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.op.is_cond_branch]
+
+    def static_block_starts(self) -> List[int]:
+        """Addresses that begin a static basic block (leaders)."""
+        leaders = {self.entry}
+        for inst in self.instructions:
+            if inst.op.ends_fetch_block:
+                leaders.add(inst.fall_through)
+                if inst.target is not None:
+                    leaders.add(inst.target)
+        return sorted(a for a in leaders if 0 <= a < len(self.instructions))
+
+    def validate_targets(self) -> None:
+        """Raise ValueError if any direct control target is off the image."""
+        limit = len(self.instructions)
+        for inst in self.instructions:
+            if inst.target is not None and not 0 <= inst.target < limit:
+                raise ValueError(f"{inst} targets {inst.target}, outside [0, {limit})")
+
+    def listing(self, start: int = 0, count: Optional[int] = None) -> str:
+        """Human-readable disassembly listing."""
+        stop = len(self.instructions) if count is None else min(len(self.instructions), start + count)
+        reverse_symbols = {addr: name for name, addr in self.symbols.items()}
+        lines = []
+        for inst in self.instructions[start:stop]:
+            label = reverse_symbols.get(inst.addr)
+            if label is not None:
+                lines.append(f"{label}:")
+            lines.append(f"    {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Memory hierarchy: set-associative caches and the paper's configuration.
+
+Paper section 3: a 4KB 4-way L1 instruction cache supporting the trace
+cache (or a 128KB dual-ported instruction cache in the reference front
+end), a 64KB L1 data cache, a unified 1MB second-level cache with 6-cycle
+latency, and 50-cycle main memory.
+"""
+
+from repro.mem.cache import SetAssocCache
+from repro.mem.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = ["SetAssocCache", "MemoryHierarchy", "MemoryConfig"]

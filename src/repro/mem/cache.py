@@ -1,0 +1,100 @@
+"""A generic set-associative cache with true-LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssocCache:
+    """Tag store of a set-associative cache (no data payload).
+
+    Addresses are byte addresses.  Each set keeps its ways in LRU order,
+    most recent last.  ``access`` allocates on miss; ``probe`` checks
+    without side effects.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int, name: str = "cache"):
+        if not _is_power_of_two(line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError("size must be divisible by assoc * line_bytes")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self.n_sets = size_bytes // (assoc * line_bytes)
+        if not _is_power_of_two(self.n_sets):
+            raise ValueError("set count must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Each set: list of tags in LRU order (least recent first).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _index_tag(self, addr: int) -> tuple:
+        line = addr >> self._line_shift
+        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+
+    def probe(self, addr: int) -> bool:
+        """Hit check without LRU update or allocation."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    def access(self, addr: int) -> bool:
+        """Access a byte address: returns True on hit.  Misses allocate."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(tag)
+        return False
+
+    def touch(self, addr: int) -> None:
+        """Allocate/refresh a line without counting stats (e.g. prefetch)."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+        elif len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(tag)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``; True if it was present."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            return True
+        return False
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,72 @@
+"""The paper's memory hierarchy wired together with latencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import INST_BYTES
+from repro.mem.cache import SetAssocCache
+
+#: Bytes per data word in the simulator's word-addressed data space.
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Sizes and latencies; defaults are the paper's Section 3 values."""
+
+    l1i_bytes: int = 4 * 1024
+    l1i_assoc: int = 4
+    l1i_line_bytes: int = 64  # 16 instructions: one fetch width
+    l1d_bytes: int = 64 * 1024
+    l1d_assoc: int = 4
+    l1d_line_bytes: int = 32
+    l2_bytes: int = 1024 * 1024
+    l2_assoc: int = 8
+    l2_line_bytes: int = 64
+    l1i_hit_latency: int = 1
+    l1d_hit_latency: int = 2
+    l2_latency: int = 6
+    memory_latency: int = 50
+
+
+class MemoryHierarchy:
+    """L1I + L1D backed by a unified L2 and flat main memory.
+
+    Returns access latencies in cycles; the unified L2 is shared between
+    the instruction and data paths as in the paper.
+    """
+
+    def __init__(self, config: MemoryConfig | None = None):
+        self.config = config or MemoryConfig()
+        cfg = self.config
+        self.l1i = SetAssocCache(cfg.l1i_bytes, cfg.l1i_assoc, cfg.l1i_line_bytes, "L1I")
+        self.l1d = SetAssocCache(cfg.l1d_bytes, cfg.l1d_assoc, cfg.l1d_line_bytes, "L1D")
+        self.l2 = SetAssocCache(cfg.l2_bytes, cfg.l2_assoc, cfg.l2_line_bytes, "L2")
+
+    # --- instruction side -------------------------------------------------
+
+    def inst_line_latency(self, inst_addr: int) -> int:
+        """Latency to obtain the icache line holding instruction ``inst_addr``."""
+        byte_addr = inst_addr * INST_BYTES
+        if self.l1i.access(byte_addr):
+            return self.config.l1i_hit_latency
+        if self.l2.access(byte_addr):
+            return self.config.l2_latency
+        return self.config.memory_latency
+
+    def inst_line_hit(self, inst_addr: int) -> bool:
+        """Probe-only: is the line already in the L1I?"""
+        return self.l1i.probe(inst_addr * INST_BYTES)
+
+    # --- data side ----------------------------------------------------------
+
+    def data_latency(self, word_addr: int) -> int:
+        """Latency of a load/store to data word ``word_addr``."""
+        # Keep code and data in disjoint L2 regions: offset the data space.
+        byte_addr = (word_addr * WORD_BYTES) | (1 << 40)
+        if self.l1d.access(byte_addr):
+            return self.config.l1d_hit_latency
+        if self.l2.access(byte_addr):
+            return self.config.l2_latency
+        return self.config.memory_latency

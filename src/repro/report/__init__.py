@@ -1,0 +1,5 @@
+"""Plain-text rendering of experiment results."""
+
+from repro.report.tables import format_table, format_bar_chart, format_histogram
+
+__all__ = ["format_table", "format_bar_chart", "format_histogram"]

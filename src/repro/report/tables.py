@@ -1,0 +1,51 @@
+"""ASCII tables and bar charts for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(values: Dict[str, float], width: int = 40, title: str = "",
+                     fmt: str = "{:8.2f}") -> str:
+    """Horizontal ASCII bar chart (one bar per key)."""
+    lines = [title] if title else []
+    if not values:
+        return title
+    label_width = max(len(str(k)) for k in values)
+    peak = max((abs(v) for v in values.values()), default=1.0) or 1.0
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / peak)))
+        sign = "-" if value < 0 else ""
+        lines.append(f"{str(key).ljust(label_width)} {fmt.format(value)} {sign}{bar}")
+    return "\n".join(lines)
+
+
+def format_histogram(histogram: Dict[int, float], width: int = 40, title: str = "") -> str:
+    """Vertical-ish histogram of fetch sizes (one row per size)."""
+    return format_bar_chart(
+        {f"size {size:2d}": value for size, value in sorted(histogram.items())},
+        width=width, title=title, fmt="{:6.3f}",
+    )

@@ -1,0 +1,31 @@
+"""The trace cache, fill unit, and branch promotion machinery.
+
+This package is the paper's primary contribution:
+
+* :class:`TraceSegment` — up to 16 logically contiguous instructions with
+  embedded branch directions, at most three of which are *non-promoted*
+  conditional branches;
+* :class:`TraceCache` — 2K lines, 4-way set associative, no path
+  associativity (one resident segment per start address);
+* :class:`BranchBiasTable` — the tagged 8K-entry table that detects
+  strongly biased branches and drives promotion/demotion;
+* :class:`FillUnit` — builds segments from the retired instruction stream
+  with selectable block policies: atomic, unregulated packing, chunked
+  packing (n=2/4) and cost-regulated packing.
+"""
+
+from repro.trace.segment import TraceSegment, FinalizeReason, SegmentBranch
+from repro.trace.bias_table import BranchBiasTable, BiasEntry
+from repro.trace.trace_cache import TraceCache
+from repro.trace.fill_unit import FillUnit, PackingPolicy
+
+__all__ = [
+    "TraceSegment",
+    "FinalizeReason",
+    "SegmentBranch",
+    "BranchBiasTable",
+    "BiasEntry",
+    "TraceCache",
+    "FillUnit",
+    "PackingPolicy",
+]

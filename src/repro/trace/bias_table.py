@@ -1,0 +1,101 @@
+"""The branch bias table: detection, promotion and demotion (paper Fig. 5).
+
+Each entry records a branch's previous outcome and the number of
+consecutive times it has repeated, plus the promotion state machine:
+
+* when the consecutive-outcome count reaches the threshold, the branch is
+  *promoted* in that direction — the fill unit will embed it with a static
+  prediction;
+* a promoted branch is *demoted* when there are two or more consecutive
+  outcomes opposite its promoted direction, or when its entry misses in
+  the (tagged) table.  A single opposite outcome — e.g. the final
+  iteration of a loop — does not demote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class BiasEntry:
+    tag: int
+    direction: bool       # previous outcome
+    count: int            # consecutive occurrences of ``direction``
+    promoted: bool = False
+    promoted_dir: bool = False
+
+
+class BranchBiasTable:
+    """Direct-mapped, tagged table of :class:`BiasEntry` (default 8K)."""
+
+    def __init__(self, entries: int = 8192, threshold: int = 64, counter_bits: int = 10):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.entries = entries
+        self.threshold = threshold
+        self.count_cap = (1 << counter_bits) - 1
+        if self.count_cap < threshold:
+            raise ValueError("counter too narrow for threshold")
+        self._table: List[Optional[BiasEntry]] = [None] * entries
+        self.promotions = 0
+        self.demotions = 0
+
+    def _slot(self, pc: int) -> int:
+        return pc % self.entries
+
+    def lookup(self, pc: int) -> Optional[BiasEntry]:
+        entry = self._table[self._slot(pc)]
+        if entry is not None and entry.tag == pc:
+            return entry
+        return None
+
+    def update(self, pc: int, taken: bool) -> BiasEntry:
+        """Record a retired outcome; returns the (possibly new) entry."""
+        slot = self._slot(pc)
+        entry = self._table[slot]
+        if entry is None or entry.tag != pc:
+            # Allocate, evicting any conflicting branch.  The evicted branch
+            # loses its promoted status (a future bias-table miss demotes).
+            entry = BiasEntry(tag=pc, direction=taken, count=1)
+            self._table[slot] = entry
+            return entry
+        if taken == entry.direction:
+            if entry.count < self.count_cap:
+                entry.count += 1
+        else:
+            entry.direction = taken
+            entry.count = 1
+        self._apply_promotion_rules(entry)
+        return entry
+
+    def _apply_promotion_rules(self, entry: BiasEntry) -> None:
+        if not entry.promoted:
+            if entry.count >= self.threshold:
+                entry.promoted = True
+                entry.promoted_dir = entry.direction
+                self.promotions += 1
+            return
+        # Promoted: demote on >= 2 consecutive outcomes against the
+        # promoted direction.
+        if entry.direction != entry.promoted_dir and entry.count >= 2:
+            entry.promoted = False
+            self.demotions += 1
+            # The run in the new direction may itself qualify immediately.
+            if entry.count >= self.threshold:
+                entry.promoted = True
+                entry.promoted_dir = entry.direction
+                self.promotions += 1
+
+    def is_promoted(self, pc: int) -> bool:
+        entry = self.lookup(pc)
+        return entry is not None and entry.promoted
+
+    def promoted_direction(self, pc: int) -> Optional[bool]:
+        entry = self.lookup(pc)
+        if entry is not None and entry.promoted:
+            return entry.promoted_dir
+        return None

@@ -1,0 +1,262 @@
+"""The fill unit: builds trace segments from the retired instruction stream.
+
+The fill unit collects retired instructions into fetch blocks (a block ends
+at a non-promoted conditional branch, a segment-ending instruction, or a
+16-instruction cap) and merges blocks into a pending segment under one of
+the paper's block policies:
+
+* **atomic** (baseline): a block merges only if it fits entirely; otherwise
+  the pending segment is finalized and the block starts a new one;
+* **unregulated packing**: blocks split at any instruction — segments are
+  greedily packed to 16;
+* **chunked packing (n=2, n=4)**: blocks split only at multiples of n
+  instructions, halving/quartering the number of distinct split points;
+* **cost-regulated packing**: a block may split only when the pending
+  segment has at least half its length free, OR the pending segment
+  contains a backward conditional branch with displacement <= 32
+  instructions (a tight loop worth unrolling).
+
+With promotion enabled, every retiring conditional branch consults the
+:class:`~repro.trace.bias_table.BranchBiasTable`; promoted branches are
+embedded with a static prediction, do not terminate blocks, and do not
+count against the three-dynamic-branch limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.trace.bias_table import BranchBiasTable
+from repro.trace.segment import (
+    MAX_SEGMENT_BRANCHES,
+    MAX_SEGMENT_INSTRUCTIONS,
+    FinalizeReason,
+    SegmentBranch,
+    TraceSegment,
+)
+from repro.trace.trace_cache import TraceCache
+
+
+class PackingPolicy(enum.Enum):
+    """The fill unit's block-merge policies (paper section 5)."""
+
+    ATOMIC = "atomic"
+    UNREGULATED = "unregulated"
+    CHUNK2 = "chunk2"
+    CHUNK4 = "chunk4"
+    COST_REGULATED = "cost_regulated"
+
+    @property
+    def granule(self) -> int:
+        if self is PackingPolicy.CHUNK2:
+            return 2
+        if self is PackingPolicy.CHUNK4:
+            return 4
+        return 1
+
+    @property
+    def packs(self) -> bool:
+        return self is not PackingPolicy.ATOMIC
+
+
+@dataclass
+class _Slot:
+    """One instruction queued in the fill unit, with its branch metadata."""
+
+    inst: Instruction
+    direction: Optional[bool]
+    promoted: bool
+
+
+class FillUnit:
+    """Builds and writes trace segments from retire-order instructions."""
+
+    def __init__(
+        self,
+        trace_cache: TraceCache,
+        bias_table: Optional[BranchBiasTable] = None,
+        policy: PackingPolicy = PackingPolicy.ATOMIC,
+        promote: bool = False,
+        static_promotions: Optional[dict] = None,
+    ):
+        if promote and bias_table is None:
+            raise ValueError("promotion requires a bias table")
+        if promote and static_promotions is not None:
+            raise ValueError("dynamic and static promotion are exclusive")
+        self.trace_cache = trace_cache
+        self.bias_table = bias_table
+        self.policy = policy
+        self.promote = promote
+        #: addr -> StaticPromotion: compiler-marked strongly biased branches
+        #: (no warm-up, no demotion; see repro.trace.static_promotion)
+        self.static_promotions = static_promotions
+        self._pending: List[_Slot] = []
+        self._block: List[_Slot] = []
+        self.finalize_reasons: Counter = Counter()
+        self.segments_built = 0
+
+    # ------------------------------------------------------------- retire
+
+    def retire(self, inst: Instruction, taken: Optional[bool] = None) -> None:
+        """Feed one retired instruction (with its outcome if a branch)."""
+        promoted = False
+        direction = None
+        if inst.op.is_cond_branch:
+            if taken is None:
+                raise ValueError(f"retiring branch {inst} without an outcome")
+            direction = taken
+            if self.promote:
+                entry = self.bias_table.update(inst.addr, taken)
+                promoted = entry.promoted and entry.promoted_dir == taken
+            elif self.static_promotions is not None:
+                static = self.static_promotions.get(inst.addr)
+                promoted = static is not None and static.direction == taken
+        self._block.append(_Slot(inst=inst, direction=direction, promoted=promoted))
+
+        ends_block = False
+        seg_end = False
+        if inst.op.is_cond_branch and not promoted:
+            ends_block = True
+        elif inst.op.ends_trace_segment:
+            ends_block = True
+            seg_end = True
+        elif len(self._block) >= MAX_SEGMENT_INSTRUCTIONS:
+            ends_block = True  # straightline fragment cap
+        if ends_block:
+            block, self._block = self._block, []
+            self._merge_block(block, seg_end)
+
+    def flush(self) -> None:
+        """Finalize any partial state (end of simulation)."""
+        if self._block:
+            block, self._block = self._block, []
+            self._merge_block(block, seg_end=False)
+        self._finalize(FinalizeReason.FLUSH)
+
+    def note_recovery(self) -> None:
+        """A branch misprediction flushed the pipeline.
+
+        Real fill units finalize the pending segment on a flush, which
+        re-synchronizes segment start addresses with fetch addresses —
+        without this, trace packing can drift into alignments the fetch
+        engine never looks up (a closed loop whose block boundaries never
+        coincide with the 16-instruction packing stride becomes
+        unreachable in the trace cache).
+        """
+        if self._block:
+            block, self._block = self._block, []
+            self._merge_block(block, seg_end=False)
+        self._finalize(FinalizeReason.RECOVERY)
+
+    # -------------------------------------------------------------- merging
+
+    @staticmethod
+    def _block_branches(block: List[_Slot]) -> int:
+        return sum(1 for slot in block if slot.inst.op.is_cond_branch and not slot.promoted)
+
+    def _pending_branches(self) -> int:
+        return self._block_branches(self._pending)
+
+    def _merge_block(self, block: List[_Slot], seg_end: bool) -> None:
+        if self.policy.packs and self._pack_allowed():
+            self._merge_packing(block, seg_end)
+        else:
+            self._merge_atomic(block, seg_end)
+
+    def _pack_allowed(self) -> bool:
+        """May the *pending segment* accept a split block right now?"""
+        if self.policy is not PackingPolicy.COST_REGULATED:
+            return True
+        if not self._pending:
+            return True
+        free = MAX_SEGMENT_INSTRUCTIONS - len(self._pending)
+        if 2 * free >= len(self._pending):
+            return True
+        return self._has_tight_loop_branch()
+
+    def _has_tight_loop_branch(self, max_displacement: int = 32) -> bool:
+        for slot in self._pending:
+            inst = slot.inst
+            if inst.op.is_cond_branch and inst.target is not None:
+                if inst.target < inst.addr and inst.addr - inst.target <= max_displacement:
+                    return True
+        return False
+
+    def _merge_atomic(self, block: List[_Slot], seg_end: bool) -> None:
+        if self._pending:
+            fits_brs = self._pending_branches() + self._block_branches(block) <= MAX_SEGMENT_BRANCHES
+            fits_size = len(self._pending) + len(block) <= MAX_SEGMENT_INSTRUCTIONS
+            if not fits_brs:
+                self._finalize(FinalizeReason.MAX_BRANCHES)
+            elif not fits_size:
+                self._finalize(FinalizeReason.ATOMIC_BLOCK)
+        self._pending.extend(block)
+        self._post_append(seg_end)
+
+    def _merge_packing(self, block: List[_Slot], seg_end: bool) -> None:
+        granule = self.policy.granule
+        while block:
+            free = MAX_SEGMENT_INSTRUCTIONS - len(self._pending)
+            brs_left = MAX_SEGMENT_BRANCHES - self._pending_branches()
+            # How much of the block may enter the pending segment?
+            take = min(free, len(block))
+            brs_limited = False
+            if self._block_branches(block[:take]) > brs_left:
+                # The block's terminating branch (its last instruction)
+                # cannot be added; take at most everything before it.
+                take = min(take, len(block) - 1)
+                brs_limited = True
+            if take < len(block) and granule > 1 and self._pending:
+                # Split points restricted to multiples of the granule,
+                # measured from the start of the block.
+                take = (take // granule) * granule
+            if take == len(block):
+                self._pending.extend(block)
+                block = []
+                self._post_append(seg_end)
+                continue
+            # Partial merge: append the prefix, finalize, carry the rest.
+            self._pending.extend(block[:take])
+            block = block[take:]
+            if brs_limited and len(self._pending) < MAX_SEGMENT_INSTRUCTIONS:
+                self._finalize(FinalizeReason.MAX_BRANCHES)
+            elif len(self._pending) == MAX_SEGMENT_INSTRUCTIONS:
+                self._finalize(FinalizeReason.MAX_SIZE)
+            else:
+                # Granule prevented any (or a full) merge.
+                self._finalize(FinalizeReason.ATOMIC_BLOCK)
+
+    def _post_append(self, seg_end: bool) -> None:
+        if seg_end:
+            self._finalize(FinalizeReason.SEG_ENDER)
+        elif len(self._pending) >= MAX_SEGMENT_INSTRUCTIONS:
+            self._finalize(FinalizeReason.MAX_SIZE)
+
+    # ------------------------------------------------------------- finalize
+
+    def _finalize(self, reason: FinalizeReason) -> None:
+        if not self._pending:
+            return
+        slots, self._pending = self._pending, []
+        instructions = [slot.inst for slot in slots]
+        branches = [
+            SegmentBranch(position=i, direction=slot.direction, promoted=slot.promoted)
+            for i, slot in enumerate(slots)
+            if slot.inst.op.is_cond_branch
+        ]
+        segment = TraceSegment(
+            start_addr=instructions[0].addr,
+            instructions=instructions,
+            branches=branches,
+            finalize_reason=reason,
+        )
+        next_addr = segment.compute_next_addr()
+        segment.next_addr = -1 if next_addr is None else next_addr
+        segment.validate()
+        self.trace_cache.insert(segment)
+        self.finalize_reasons[reason] += 1
+        self.segments_built += 1

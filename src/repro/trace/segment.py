@@ -1,0 +1,143 @@
+"""Trace segments: the unit stored in, and supplied by, the trace cache."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+
+#: Maximum instructions per trace cache line.
+MAX_SEGMENT_INSTRUCTIONS = 16
+
+#: Maximum *non-promoted* conditional branches per line (one per prediction
+#: the multiple branch predictor can supply).
+MAX_SEGMENT_BRANCHES = 3
+
+
+class FinalizeReason(enum.Enum):
+    """Why the fill unit finalized a segment.
+
+    These map one-to-one onto the fetch-termination categories of the
+    paper's Figures 4 and 6 (the front end adds the fetch-time categories
+    PartialMatch, MispredBR and Icache).
+    """
+
+    MAX_SIZE = "max_size"            # 16 instructions collected
+    MAX_BRANCHES = "max_branches"    # a 4th dynamic branch would not fit
+    ATOMIC_BLOCK = "atomic_block"    # next block didn't fit and blocks are atomic
+    SEG_ENDER = "ret_indir_trap"     # return / indirect jump / trap
+    RECOVERY = "recovery"            # pending segment cut by a pipeline flush
+    FLUSH = "flush"                  # pipeline drain at end of run
+
+
+@dataclass(frozen=True)
+class SegmentBranch:
+    """A conditional branch embedded in a segment.
+
+    Attributes:
+        position: index within the segment's instruction list.
+        direction: the direction the trace embeds (the retired outcome when
+            the segment was built).
+        promoted: True when the fill unit promoted this branch; promoted
+            branches carry their static prediction in ``direction`` and
+            consume no dynamic-predictor bandwidth.
+    """
+
+    position: int
+    direction: bool
+    promoted: bool
+
+
+@dataclass
+class TraceSegment:
+    """One trace cache line's worth of logically contiguous instructions."""
+
+    start_addr: int
+    instructions: List[Instruction] = field(default_factory=list)
+    branches: List[SegmentBranch] = field(default_factory=list)
+    finalize_reason: FinalizeReason = FinalizeReason.FLUSH
+    #: Address the fetch continues at when every embedded branch follows the
+    #: segment's path.
+    next_addr: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def dynamic_branches(self) -> List[SegmentBranch]:
+        """Branches needing a prediction (non-promoted), in fetch order."""
+        return [b for b in self.branches if not b.promoted]
+
+    @property
+    def promoted_branches(self) -> List[SegmentBranch]:
+        return [b for b in self.branches if b.promoted]
+
+    @property
+    def num_dynamic_branches(self) -> int:
+        return sum(1 for b in self.branches if not b.promoted)
+
+    def branch_at(self, position: int) -> Optional[SegmentBranch]:
+        for branch in self.branches:
+            if branch.position == position:
+                return branch
+        return None
+
+    def block_boundaries(self) -> List[int]:
+        """End positions (inclusive) of each fetch block within the segment.
+
+        Blocks are delimited by *non-promoted* conditional branches —
+        promoted branches do not terminate an execution atomic unit.  The
+        final block runs to the end of the segment.
+        """
+        ends = [b.position for b in self.branches if not b.promoted]
+        last = len(self.instructions) - 1
+        if not ends or ends[-1] != last:
+            ends.append(last)
+        return ends
+
+    def validate(self) -> None:
+        """Check the structural invariants the fill unit must maintain."""
+        if not self.instructions:
+            raise ValueError("empty segment")
+        if len(self.instructions) > MAX_SEGMENT_INSTRUCTIONS:
+            raise ValueError(f"segment of {len(self.instructions)} instructions")
+        if self.instructions[0].addr != self.start_addr:
+            raise ValueError("start_addr does not match first instruction")
+        if self.num_dynamic_branches > MAX_SEGMENT_BRANCHES:
+            raise ValueError(f"{self.num_dynamic_branches} dynamic branches in one segment")
+        positions = {b.position for b in self.branches}
+        if len(positions) != len(self.branches):
+            raise ValueError("duplicate branch positions")
+        for branch in self.branches:
+            inst = self.instructions[branch.position]
+            if not inst.op.is_cond_branch:
+                raise ValueError(f"branch record at non-branch {inst}")
+        # Logical contiguity: each instruction's successor along the
+        # embedded path is the next instruction in the segment.
+        for i, inst in enumerate(self.instructions[:-1]):
+            expected = self._successor(i)
+            if expected is not None and self.instructions[i + 1].addr != expected:
+                raise ValueError(
+                    f"discontiguous segment at position {i}: {inst} -> "
+                    f"{self.instructions[i + 1].addr}, expected {expected}"
+                )
+
+    def _successor(self, position: int) -> Optional[int]:
+        """Address following instruction ``position`` along the embedded path."""
+        inst = self.instructions[position]
+        if inst.op.is_cond_branch:
+            branch = self.branch_at(position)
+            if branch is None:
+                raise ValueError(f"unrecorded branch at position {position}")
+            return inst.target if branch.direction else inst.fall_through
+        if inst.op.is_direct_control:  # JMP / CALL
+            return inst.target
+        if inst.op.is_indirect_control:
+            return None  # not statically known; segment must end here
+        return inst.fall_through
+
+    def compute_next_addr(self) -> Optional[int]:
+        """Successor of the whole segment along its embedded path."""
+        return self._successor(len(self.instructions) - 1)

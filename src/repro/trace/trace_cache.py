@@ -1,0 +1,124 @@
+"""The trace cache proper: 2K lines, 4-way set associative, no path
+associativity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.segment import TraceSegment
+
+
+@dataclass
+class TraceCacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    replacements: int = 0  # evictions of a *different* start address
+    overwrites: int = 0    # same start address rewritten (path changed)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TraceCache:
+    """Stores :class:`TraceSegment` lines indexed by starting fetch address.
+
+    Without path associativity, only one segment starting at a given
+    address can be resident: writing ``ABC`` evicts a resident ``ABD``
+    (the paper's baseline configuration).
+    """
+
+    def __init__(self, n_lines: int = 2048, assoc: int = 4,
+                 path_assoc: bool = False):
+        if n_lines % assoc != 0:
+            raise ValueError("n_lines must be divisible by assoc")
+        self.n_lines = n_lines
+        self.assoc = assoc
+        #: with path associativity, segments with the same start address but
+        #: different embedded paths may coexist (see [9]'s discussion; the
+        #: paper's configurations leave this off)
+        self.path_assoc = path_assoc
+        self.n_sets = n_lines // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        # Each set: list of segments in LRU order (least recent first).
+        self._sets: List[List[TraceSegment]] = [[] for _ in range(self.n_sets)]
+        self.stats = TraceCacheStats()
+
+    def _set_index(self, start_addr: int) -> int:
+        return start_addr & (self.n_sets - 1)
+
+    def lookup(self, fetch_addr: int) -> Optional[TraceSegment]:
+        """Probe for a segment starting at ``fetch_addr`` (updates LRU/stats)."""
+        ways = self._sets[self._set_index(fetch_addr)]
+        for i, segment in enumerate(ways):
+            if segment.start_addr == fetch_addr:
+                ways.append(ways.pop(i))
+                self.stats.hits += 1
+                return segment
+        self.stats.misses += 1
+        return None
+
+    def probe(self, fetch_addr: int) -> Optional[TraceSegment]:
+        """Side-effect-free lookup."""
+        for segment in self._sets[self._set_index(fetch_addr)]:
+            if segment.start_addr == fetch_addr:
+                return segment
+        return None
+
+    @staticmethod
+    def _path_signature(segment: TraceSegment) -> tuple:
+        return tuple((b.position, b.direction) for b in segment.branches)
+
+    def insert(self, segment: TraceSegment) -> None:
+        """Write a finalized segment.
+
+        Without path associativity a new segment evicts any resident one
+        with the same start address; with it, only a same-start same-path
+        segment is replaced and different paths coexist.
+        """
+        ways = self._sets[self._set_index(segment.start_addr)]
+        self.stats.writes += 1
+        signature = self._path_signature(segment) if self.path_assoc else None
+        for i, resident in enumerate(ways):
+            if resident.start_addr != segment.start_addr:
+                continue
+            if self.path_assoc and self._path_signature(resident) != signature:
+                continue
+            del ways[i]
+            self.stats.overwrites += 1
+            break
+        else:
+            if len(ways) >= self.assoc:
+                ways.pop(0)
+                self.stats.replacements += 1
+        ways.append(segment)
+
+    def lookup_candidates(self, fetch_addr: int):
+        """All resident segments starting at ``fetch_addr`` (no stats)."""
+        return [s for s in self._sets[self._set_index(fetch_addr)]
+                if s.start_addr == fetch_addr]
+
+    def record_hit(self, segment: TraceSegment) -> None:
+        """Account a hit on a candidate chosen by the fetch engine."""
+        ways = self._sets[self._set_index(segment.start_addr)]
+        for i, resident in enumerate(ways):
+            if resident is segment:
+                ways.append(ways.pop(i))
+                break
+        self.stats.hits += 1
+
+    def record_miss(self) -> None:
+        self.stats.misses += 1
+
+    def resident_segments(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]

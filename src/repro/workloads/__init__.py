@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for SPECint95 + UNIX applications.
+
+The paper simulates 15 benchmark binaries (Table 1).  Those binaries and
+inputs are not available here, so this package generates seeded synthetic
+programs whose *populations* of branches and blocks match each benchmark's
+published character: static code footprint, fetch-block size, fraction of
+strongly biased branches, loop structure, call behaviour, indirect-jump
+frequency and data working set.  See DESIGN.md section 2 for the
+substitution argument.
+"""
+
+from repro.workloads.builder import CodeBuilder, DataBuilder
+from repro.workloads.behaviors import BranchBehavior, BranchKind
+from repro.workloads.profiles import BenchmarkProfile, PROFILES, BENCHMARK_NAMES, get_profile
+from repro.workloads.generator import generate_program, WorkloadGenerator
+from repro.workloads.stats import WorkloadStats, characterize
+
+__all__ = [
+    "CodeBuilder",
+    "DataBuilder",
+    "BranchBehavior",
+    "BranchKind",
+    "BenchmarkProfile",
+    "PROFILES",
+    "BENCHMARK_NAMES",
+    "get_profile",
+    "generate_program",
+    "WorkloadGenerator",
+    "WorkloadStats",
+    "characterize",
+]

@@ -1,0 +1,353 @@
+"""Per-benchmark generation profiles (the paper's Table 1 suite).
+
+Each profile parameterizes the synthetic generator so that the produced
+program's *population statistics* — static footprint, dynamic block sizes,
+branch bias mix, call/indirect density, data working set — match the
+published character of the corresponding SPECint95 / UNIX benchmark.  The
+exact numbers are not (and cannot be) the paper's; the profiles are chosen
+so the qualitative orderings the paper relies on hold:
+
+* gcc/go/tex/vortex/gs/python have static footprints that pressure a 128KB
+  trace cache, so they are the Table 4 (packing redundancy) benchmarks;
+* compress/m88ksim/pgp/ijpeg are tight-loop codes with high branch bias;
+* li/perl/python are interpreters: short blocks, dense calls and indirect
+  jumps;
+* gnuplot gets a large population of *nearly* biased branches plus bias
+  phase flips, reproducing its promotion-faulting behaviour (Figure 7);
+* go/gnuchess get hard, weakly biased search branches.
+
+Every phase contains a *hot kernel* — a small loop executed many times per
+visit — so dynamic execution follows the 90/10 rule: hot branch sites run
+often enough (hundreds of executions in a scaled-down run) for the bias
+table to promote them at the paper's thresholds, while the cold phase
+bodies supply trace-cache capacity pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.behaviors import BranchKind
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Knobs for :func:`repro.workloads.generator.generate_program`."""
+
+    name: str
+    #: Dynamic instruction count the paper simulated (millions), Table 1.
+    paper_inst_count_m: int
+    #: Input set named by the paper's Table 1 ("" when unlisted).
+    input_set: str
+    description: str
+    seed: int
+
+    # --- static shape ---------------------------------------------------
+    n_phases: int
+    stmts_per_phase: Tuple[int, int]
+    n_utilities: int
+    utility_stmts: Tuple[int, int]
+
+    # --- dynamic shape ----------------------------------------------------
+    outer_iters: int
+    phase_trip: Tuple[int, int]       # phase main-loop trip count range
+    inner_loop_trip: Tuple[int, int]  # nested loop trip count range
+    hot_stmts: Tuple[int, int]        # statements in each phase's hot kernel
+    hot_trip: Tuple[int, int]         # hot kernel trip count range
+
+    # --- statement mix (probabilities; block fills the remainder) --------
+    p_if: float
+    p_loop: float
+    p_call: float
+    p_switch: float
+    p_store: float
+    p_trap: float
+
+    # --- code texture -----------------------------------------------------
+    block_len: Tuple[int, int]        # straightline run length range
+    mem_in_block: float               # probability a block slot is a LD
+    late_cond_frac: float             # conditions data-chained behind work loads
+    late_store_frac: float            # stores whose address depends on a load
+    switch_cases: Tuple[int, int]
+
+    # --- branch population -------------------------------------------------
+    bias_mix: Dict[BranchKind, float]
+
+    # --- memory -----------------------------------------------------------
+    working_set_words: int
+
+    # --- run scaling --------------------------------------------------------
+    #: Default dynamic-instruction budget for benchmark harness runs.
+    default_dynamic: int = 120_000
+
+    #: fraction of if-sites whose condition thresholds the phase's shared
+    #: context array (mutually correlated branches, global-history friendly)
+    correlated_frac: float = 0.45
+
+    @property
+    def has_phase_flips(self) -> bool:
+        return self.bias_mix.get(BranchKind.PHASE_FLIP, 0.0) > 0.0
+
+
+def _mix(always: float, strong: float, nearly: float, moderate: float,
+         hard: float, flip: float = 0.0) -> Dict[BranchKind, float]:
+    total = always + strong + nearly + moderate + hard + flip
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"bias mix sums to {total}")
+    mix = {
+        BranchKind.ALWAYS_TAKEN: always / 2,
+        BranchKind.ALWAYS_NOT_TAKEN: always / 2,
+        BranchKind.STRONGLY_BIASED: strong,
+        BranchKind.NEARLY_BIASED: nearly,
+        BranchKind.MODERATE: moderate,
+        BranchKind.HARD: hard,
+    }
+    if flip:
+        mix[BranchKind.PHASE_FLIP] = flip
+    return mix
+
+
+PROFILES: Dict[str, BenchmarkProfile] = {}
+
+
+def _register(profile: BenchmarkProfile) -> None:
+    if profile.name in PROFILES:
+        raise ValueError(f"duplicate profile {profile.name}")
+    PROFILES[profile.name] = profile
+
+
+_register(BenchmarkProfile(
+    name="compress", paper_inst_count_m=95, input_set="test.in (30000 elems)",
+    description="LZW compression: tiny kernel looping over a hash table",
+    seed=1001,
+    n_phases=4, stmts_per_phase=(26, 40), n_utilities=4, utility_stmts=(3, 6),
+    outer_iters=400, phase_trip=(2, 4), inner_loop_trip=(3, 8),
+    hot_stmts=(5, 9), hot_trip=(80, 200),
+    p_if=0.54, p_loop=0.05, p_call=0.05, p_switch=0.01, p_store=0.12, p_trap=0.001,
+    block_len=(1, 3), mem_in_block=0.30, late_cond_frac=0.30, late_store_frac=0.25,
+    switch_cases=(3, 5),
+    bias_mix=_mix(always=0.24, strong=0.38, nearly=0.10, moderate=0.18, hard=0.10),
+    working_set_words=1 << 14,
+))
+
+_register(BenchmarkProfile(
+    name="gcc", paper_inst_count_m=157, input_set="jump.i",
+    description="optimizing compiler: huge code footprint, short blocks",
+    seed=1002,
+    n_phases=16, stmts_per_phase=(85, 125), n_utilities=30, utility_stmts=(4, 9),
+    outer_iters=40, phase_trip=(3, 5), inner_loop_trip=(2, 6),
+    hot_stmts=(5, 9), hot_trip=(90, 220),
+    p_if=0.54, p_loop=0.05, p_call=0.08, p_switch=0.03, p_store=0.12, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.32, late_cond_frac=0.35, late_store_frac=0.30,
+    switch_cases=(4, 9),
+    bias_mix=_mix(always=0.18, strong=0.32, nearly=0.10, moderate=0.22, hard=0.18),
+    working_set_words=1 << 17,
+    default_dynamic=300_000,
+))
+
+_register(BenchmarkProfile(
+    name="go", paper_inst_count_m=151, input_set="2stone9.in",
+    description="game tree search: large code, notoriously hard branches",
+    seed=1003,
+    n_phases=13, stmts_per_phase=(75, 115), n_utilities=24, utility_stmts=(4, 8),
+    outer_iters=40, phase_trip=(3, 5), inner_loop_trip=(2, 6),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.54, p_loop=0.05, p_call=0.06, p_switch=0.01, p_store=0.10, p_trap=0.001,
+    block_len=(1, 3), mem_in_block=0.28, late_cond_frac=0.30, late_store_frac=0.20,
+    switch_cases=(3, 6),
+    bias_mix=_mix(always=0.14, strong=0.28, nearly=0.10, moderate=0.22, hard=0.26),
+    working_set_words=1 << 15,
+    default_dynamic=300_000,
+))
+
+_register(BenchmarkProfile(
+    name="ijpeg", paper_inst_count_m=500, input_set="penguin.ppm",
+    description="image compression: long DSP-like blocks, deep loops",
+    seed=1004,
+    n_phases=8, stmts_per_phase=(40, 60), n_utilities=8, utility_stmts=(5, 10),
+    outer_iters=200, phase_trip=(2, 5), inner_loop_trip=(4, 12),
+    hot_stmts=(6, 10), hot_trip=(100, 260),
+    p_if=0.28, p_loop=0.09, p_call=0.04, p_switch=0.005, p_store=0.14, p_trap=0.001,
+    block_len=(3, 9), mem_in_block=0.34, late_cond_frac=0.20, late_store_frac=0.25,
+    switch_cases=(3, 5),
+    bias_mix=_mix(always=0.28, strong=0.40, nearly=0.08, moderate=0.14, hard=0.10),
+    working_set_words=1 << 16,
+))
+
+_register(BenchmarkProfile(
+    name="li", paper_inst_count_m=500, input_set="train.lsp",
+    description="lisp interpreter: tiny blocks, dense calls and dispatch",
+    seed=1005,
+    n_phases=6, stmts_per_phase=(32, 50), n_utilities=16, utility_stmts=(3, 7),
+    outer_iters=300, phase_trip=(2, 5), inner_loop_trip=(2, 5),
+    hot_stmts=(4, 8), hot_trip=(70, 180),
+    p_if=0.54, p_loop=0.03, p_call=0.14, p_switch=0.04, p_store=0.10, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.34, late_cond_frac=0.30, late_store_frac=0.20,
+    switch_cases=(4, 8),
+    bias_mix=_mix(always=0.30, strong=0.40, nearly=0.08, moderate=0.14, hard=0.08),
+    working_set_words=1 << 14,
+))
+
+_register(BenchmarkProfile(
+    name="m88ksim", paper_inst_count_m=493, input_set="dhry.test",
+    description="CPU simulator: dominant decode loop, very biased branches",
+    seed=1006,
+    n_phases=6, stmts_per_phase=(32, 50), n_utilities=8, utility_stmts=(4, 8),
+    outer_iters=300, phase_trip=(2, 5), inner_loop_trip=(3, 8),
+    hot_stmts=(5, 9), hot_trip=(100, 260),
+    p_if=0.52, p_loop=0.04, p_call=0.07, p_switch=0.02, p_store=0.10, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.30, late_cond_frac=0.25, late_store_frac=0.20,
+    switch_cases=(4, 8),
+    bias_mix=_mix(always=0.36, strong=0.42, nearly=0.06, moderate=0.10, hard=0.06),
+    working_set_words=1 << 14,
+))
+
+_register(BenchmarkProfile(
+    name="perl", paper_inst_count_m=41, input_set="scrabbl.pl",
+    description="perl interpreter: opcode dispatch, many indirect jumps",
+    seed=1007,
+    n_phases=12, stmts_per_phase=(50, 75), n_utilities=20, utility_stmts=(3, 7),
+    outer_iters=120, phase_trip=(2, 4), inner_loop_trip=(2, 6),
+    hot_stmts=(4, 8), hot_trip=(70, 180),
+    p_if=0.52, p_loop=0.04, p_call=0.10, p_switch=0.06, p_store=0.11, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.32, late_cond_frac=0.30, late_store_frac=0.25,
+    switch_cases=(5, 10),
+    bias_mix=_mix(always=0.28, strong=0.40, nearly=0.08, moderate=0.16, hard=0.08),
+    working_set_words=1 << 15,
+))
+
+_register(BenchmarkProfile(
+    name="vortex", paper_inst_count_m=214, input_set="vortex.in",
+    description="OO database: big footprint, call-heavy, well-biased",
+    seed=1008,
+    n_phases=12, stmts_per_phase=(65, 100), n_utilities=22, utility_stmts=(4, 9),
+    outer_iters=60, phase_trip=(3, 5), inner_loop_trip=(2, 6),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.48, p_loop=0.04, p_call=0.13, p_switch=0.02, p_store=0.14, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.34, late_cond_frac=0.25, late_store_frac=0.30,
+    switch_cases=(3, 7),
+    bias_mix=_mix(always=0.28, strong=0.38, nearly=0.08, moderate=0.16, hard=0.10),
+    working_set_words=1 << 17,
+    default_dynamic=300_000,
+))
+
+_register(BenchmarkProfile(
+    name="gnuchess", paper_inst_count_m=119, input_set="",
+    description="chess search: evaluation loops, mixed-quality branches",
+    seed=1009,
+    n_phases=10, stmts_per_phase=(50, 80), n_utilities=14, utility_stmts=(4, 8),
+    outer_iters=120, phase_trip=(2, 5), inner_loop_trip=(2, 7),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.54, p_loop=0.06, p_call=0.07, p_switch=0.01, p_store=0.10, p_trap=0.001,
+    block_len=(1, 3), mem_in_block=0.28, late_cond_frac=0.30, late_store_frac=0.20,
+    switch_cases=(3, 6),
+    bias_mix=_mix(always=0.24, strong=0.36, nearly=0.10, moderate=0.18, hard=0.12),
+    working_set_words=1 << 15,
+))
+
+_register(BenchmarkProfile(
+    name="gs", paper_inst_count_m=180, input_set="",
+    description="ghostscript: large interpreter + rasterizer footprint",
+    seed=1010,
+    n_phases=11, stmts_per_phase=(65, 100), n_utilities=20, utility_stmts=(4, 8),
+    outer_iters=60, phase_trip=(3, 5), inner_loop_trip=(3, 8),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.50, p_loop=0.06, p_call=0.09, p_switch=0.03, p_store=0.12, p_trap=0.003,
+    block_len=(1, 3), mem_in_block=0.30, late_cond_frac=0.25, late_store_frac=0.25,
+    switch_cases=(4, 8),
+    bias_mix=_mix(always=0.24, strong=0.36, nearly=0.10, moderate=0.18, hard=0.12),
+    working_set_words=1 << 16,
+    default_dynamic=300_000,
+))
+
+_register(BenchmarkProfile(
+    name="pgp", paper_inst_count_m=322, input_set="",
+    description="crypto: multiply-heavy kernels, long biased loops",
+    seed=1011,
+    n_phases=6, stmts_per_phase=(36, 55), n_utilities=6, utility_stmts=(5, 10),
+    outer_iters=250, phase_trip=(2, 5), inner_loop_trip=(4, 10),
+    hot_stmts=(6, 10), hot_trip=(100, 260),
+    p_if=0.30, p_loop=0.07, p_call=0.05, p_switch=0.005, p_store=0.11, p_trap=0.001,
+    block_len=(3, 8), mem_in_block=0.26, late_cond_frac=0.20, late_store_frac=0.20,
+    switch_cases=(3, 5),
+    bias_mix=_mix(always=0.28, strong=0.42, nearly=0.08, moderate=0.14, hard=0.08),
+    working_set_words=1 << 14,
+))
+
+_register(BenchmarkProfile(
+    name="python", paper_inst_count_m=220, input_set="",
+    description="python interpreter: bytecode dispatch, big footprint",
+    seed=1012,
+    n_phases=10, stmts_per_phase=(60, 90), n_utilities=18, utility_stmts=(3, 7),
+    outer_iters=70, phase_trip=(3, 5), inner_loop_trip=(2, 6),
+    hot_stmts=(4, 8), hot_trip=(70, 180),
+    p_if=0.54, p_loop=0.04, p_call=0.11, p_switch=0.05, p_store=0.11, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.34, late_cond_frac=0.30, late_store_frac=0.25,
+    switch_cases=(5, 10),
+    bias_mix=_mix(always=0.28, strong=0.38, nearly=0.08, moderate=0.16, hard=0.10),
+    working_set_words=1 << 16,
+    default_dynamic=300_000,
+))
+
+_register(BenchmarkProfile(
+    name="plot", paper_inst_count_m=284, input_set="",
+    description="gnuplot: biased-but-flaky branches; promotion-fault prone",
+    seed=1013,
+    n_phases=10, stmts_per_phase=(45, 70), n_utilities=12, utility_stmts=(4, 8),
+    outer_iters=120, phase_trip=(2, 5), inner_loop_trip=(3, 8),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.52, p_loop=0.06, p_call=0.07, p_switch=0.01, p_store=0.11, p_trap=0.001,
+    block_len=(1, 3), mem_in_block=0.28, late_cond_frac=0.25, late_store_frac=0.20,
+    switch_cases=(3, 6),
+    bias_mix=_mix(always=0.14, strong=0.22, nearly=0.36, moderate=0.14, hard=0.06,
+                  flip=0.08),
+    working_set_words=1 << 15,
+))
+
+_register(BenchmarkProfile(
+    name="ss", paper_inst_count_m=100, input_set="",
+    description="sim-outorder (SimpleScalar): event loops over big structs",
+    seed=1014,
+    n_phases=14, stmts_per_phase=(55, 85), n_utilities=18, utility_stmts=(4, 8),
+    outer_iters=90, phase_trip=(2, 4), inner_loop_trip=(2, 7),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.52, p_loop=0.05, p_call=0.09, p_switch=0.03, p_store=0.12, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.32, late_cond_frac=0.30, late_store_frac=0.25,
+    switch_cases=(4, 8),
+    bias_mix=_mix(always=0.24, strong=0.36, nearly=0.10, moderate=0.18, hard=0.12),
+    working_set_words=1 << 16,
+))
+
+_register(BenchmarkProfile(
+    name="tex", paper_inst_count_m=164, input_set="",
+    description="TeX: sprawling paragraph/line-break code, worst packing redundancy",
+    seed=1015,
+    n_phases=14, stmts_per_phase=(75, 110), n_utilities=26, utility_stmts=(4, 9),
+    outer_iters=50, phase_trip=(3, 5), inner_loop_trip=(2, 6),
+    hot_stmts=(5, 9), hot_trip=(70, 180),
+    p_if=0.52, p_loop=0.05, p_call=0.08, p_switch=0.02, p_store=0.12, p_trap=0.002,
+    block_len=(1, 3), mem_in_block=0.30, late_cond_frac=0.25, late_store_frac=0.25,
+    switch_cases=(4, 8),
+    bias_mix=_mix(always=0.24, strong=0.36, nearly=0.10, moderate=0.18, hard=0.12),
+    working_set_words=1 << 16,
+    default_dynamic=300_000,
+))
+
+#: Paper-order benchmark names (the order used on every figure's x-axis).
+BENCHMARK_NAMES: List[str] = [
+    "compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex",
+    "gnuchess", "gs", "pgp", "python", "plot", "ss", "tex",
+]
+
+#: The Table 4 subset: benchmarks with significant trace-cache miss traffic.
+TABLE4_BENCHMARKS: List[str] = ["gcc", "go", "vortex", "gs", "python", "tex"]
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -1,0 +1,84 @@
+"""Shared fixtures: small hand-assembled programs and common setups."""
+
+import pytest
+
+from repro.isa import assemble
+
+
+LOOP_SOURCE = """
+        .data
+arr:    .words 5 0 0 1 0
+        .text
+main:   ADDI r1, r0, 20
+        ADDI r20, r0, arr
+loop:   LD r3, 1(r20)
+        ADD r4, r4, r1
+        CALL fn
+        ST r4, 2(r20)
+        ADDI r1, r1, -1
+        BNE r1, r0, loop
+        TRAP
+        HALT
+fn:     ADDI r5, r0, 42
+        RET
+"""
+
+BRANCHY_SOURCE = """
+        .data
+flags:  .words 1 1 1 0 1 1 1 1
+        .text
+main:   ADDI r10, r0, 40
+        ADDI r11, r0, 0
+loop:   ANDI r1, r11, 7
+        LD r2, flags(r1)
+        BEQ r2, r0, skip
+        ADD r20, r20, r2
+        ADD r21, r21, r2
+skip:   ADDI r11, r11, 1
+        ADDI r10, r10, -1
+        BNE r10, r0, loop
+        HALT
+"""
+
+SWITCH_SOURCE = """
+        .data
+cases:  .words 0 1 2 0 1 0 0 2
+table:  .words 0 0 0
+        .text
+main:   ADDI r13, r0, table
+        ADDI r12, r0, case0
+        ST r12, 0(r13)
+        ADDI r12, r0, case1
+        ST r12, 1(r13)
+        ADDI r12, r0, case2
+        ST r12, 2(r13)
+        ADDI r10, r0, 24
+loop:   ANDI r1, r10, 7
+        LD r2, cases(r1)
+        LD r3, table(r2)
+        JR r3
+case0:  ADDI r20, r20, 1
+        JMP merge
+case1:  ADDI r21, r21, 1
+        JMP merge
+case2:  ADDI r22, r22, 1
+        JMP merge
+merge:  ADDI r10, r10, -1
+        BNE r10, r0, loop
+        HALT
+"""
+
+
+@pytest.fixture
+def loop_program():
+    return assemble(LOOP_SOURCE, name="loop")
+
+
+@pytest.fixture
+def branchy_program():
+    return assemble(BRANCHY_SOURCE, name="branchy")
+
+
+@pytest.fixture
+def switch_program():
+    return assemble(SWITCH_SOURCE, name="switch")

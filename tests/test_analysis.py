@@ -1,0 +1,154 @@
+"""Analysis toolkit: branch populations, redundancy reports, timelines."""
+
+import pytest
+
+from repro import BASELINE, PACKING, FrontEndSimulator, assemble, generate_program
+from repro.analysis import (
+    BranchSiteProfile,
+    profile_branches,
+    redundancy_report,
+    run_with_timeline,
+)
+from repro.analysis.branches import BranchPopulation
+
+
+# --- site profiles ---------------------------------------------------------
+
+def test_site_profile_counts_and_runs():
+    site = BranchSiteProfile(addr=10)
+    for outcome in (True, True, True, False, True, True):
+        site.record(outcome)
+    assert site.executions == 6
+    assert site.taken == 5
+    assert site.longest_run == 3
+    assert site.longest_run_direction is True
+    assert site.taken_rate == pytest.approx(5 / 6)
+
+
+def test_site_bias_is_symmetric():
+    mostly_not_taken = BranchSiteProfile(addr=1)
+    for _ in range(19):
+        mostly_not_taken.record(False)
+    mostly_not_taken.record(True)
+    assert mostly_not_taken.bias == pytest.approx(0.95)
+    assert mostly_not_taken.is_strongly_biased()
+
+
+def test_site_promotability_follows_runs():
+    site = BranchSiteProfile(addr=1)
+    for _ in range(63):
+        site.record(True)
+    assert not site.promotable_at(64)
+    site.record(True)
+    assert site.promotable_at(64)
+
+
+@pytest.mark.parametrize("rate,label", [
+    (1.0, "always"), (0.97, "strongly_biased"), (0.9, "nearly_biased"),
+    (0.75, "moderate"), (0.55, "hard"),
+])
+def test_site_classification(rate, label):
+    site = BranchSiteProfile(addr=1)
+    n = 100
+    for i in range(n):
+        site.record(i < rate * n)
+    assert site.classify() == label
+
+
+# --- populations -----------------------------------------------------------
+
+def test_population_measures_paper_statistic():
+    """Generated workloads must show the paper's >50%-ish biased share."""
+    population = profile_branches(generate_program("m88ksim"),
+                                  max_instructions=60_000)
+    assert population.dynamic_branches > 3_000
+    assert population.strongly_biased_fraction(0.9) > 0.4
+    assert 0.0 <= population.promotable_fraction(64) <= 1.0
+    mix = population.class_mix()
+    assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+
+def test_population_top_sites_sorted():
+    population = profile_branches(generate_program("compress"),
+                                  max_instructions=30_000)
+    top = population.top_sites(5)
+    assert len(top) == 5
+    assert all(top[i].executions >= top[i + 1].executions for i in range(4))
+
+
+def test_population_min_executions_filter():
+    population = BranchPopulation(sites={}, dynamic_branches=0)
+    assert population.strongly_biased_fraction() == 0.0
+
+
+# --- redundancy reports -------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def compress_program():
+    return generate_program("compress")
+
+
+def test_packing_raises_duplication(compress_program):
+    base_sim = FrontEndSimulator(compress_program, BASELINE, max_instructions=40_000)
+    base_sim.run()
+    pack_sim = FrontEndSimulator(compress_program, PACKING, max_instructions=40_000)
+    pack_sim.run()
+    base = redundancy_report(base_sim.engine.trace_cache)
+    pack = redundancy_report(pack_sim.engine.trace_cache)
+    assert pack.duplication_factor > base.duplication_factor
+    assert pack.fragmentation < base.fragmentation  # packed lines are fuller
+
+
+def test_report_internal_consistency(compress_program):
+    simulator = FrontEndSimulator(compress_program, BASELINE, max_instructions=30_000)
+    simulator.run()
+    report = redundancy_report(simulator.engine.trace_cache)
+    assert report.resident_segments == simulator.engine.trace_cache.resident_segments()
+    assert report.stored_instructions >= report.unique_instructions
+    assert 0.0 <= report.fragmentation < 1.0
+    assert sum(report.reason_mix.values()) == report.resident_segments
+    assert report.max_copies_of_one_instruction >= 1
+    assert "segments" in report.summary()
+
+
+def test_empty_cache_report():
+    from repro.trace.trace_cache import TraceCache
+    report = redundancy_report(TraceCache(64, 4))
+    assert report.resident_segments == 0
+    assert report.duplication_factor == 0.0
+
+
+# --- timelines -----------------------------------------------------------------
+
+def test_timeline_shapes(compress_program):
+    timeline = run_with_timeline(compress_program, BASELINE,
+                                 max_instructions=30_000, window=10_000)
+    assert len(timeline.points) == 3
+    assert timeline.points[-1].instructions == 30_000
+    efr = timeline.windowed_efr()
+    assert len(efr) == 3
+    assert all(1.0 <= rate <= 16.0 for rate in efr)
+    hits = timeline.windowed_tc_hit_rate()
+    assert all(0.0 <= rate <= 1.0 for rate in hits)
+    # Warmup: the trace cache hits more after the first window.
+    assert hits[-1] >= hits[0]
+
+
+def test_timeline_mispredict_deltas(compress_program):
+    timeline = run_with_timeline(compress_program, BASELINE,
+                                 max_instructions=20_000, window=5_000)
+    deltas = timeline.windowed_mispredicts()
+    assert len(deltas) == 4
+    assert all(d >= 0 for d in deltas)
+
+
+def test_timeline_rejects_bad_window(compress_program):
+    with pytest.raises(ValueError):
+        run_with_timeline(compress_program, BASELINE, window=0)
+
+
+def test_timeline_restores_program_entry(compress_program):
+    entry = compress_program.entry
+    run_with_timeline(compress_program, BASELINE, max_instructions=10_000,
+                      window=5_000)
+    assert compress_program.entry == entry

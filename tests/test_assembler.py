@@ -1,0 +1,177 @@
+"""The two-pass assembler: syntax, label resolution, error reporting."""
+
+import pytest
+
+from repro.isa import assemble, AssemblerError
+from repro.isa.opcodes import Opcode
+
+
+def test_minimal_program():
+    program = assemble("HALT")
+    assert len(program) == 1
+    assert program.instructions[0].op is Opcode.HALT
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble("""
+fn:     RET
+main:   HALT
+""")
+    assert program.entry == program.symbols["main"] == 1
+
+
+def test_entry_defaults_to_zero_without_main():
+    program = assemble("NOP\nHALT")
+    assert program.entry == 0
+
+
+def test_forward_and_backward_branch_targets():
+    program = assemble("""
+main:   JMP fwd
+back:   HALT
+fwd:    JMP back
+""")
+    assert program.instructions[0].target == program.symbols["fwd"]
+    assert program.instructions[2].target == program.symbols["back"]
+
+
+def test_data_words_and_space():
+    program = assemble("""
+        .data
+a:      .words 1 2 3
+b:      .space 4
+c:      .words 9
+        .text
+main:   HALT
+""")
+    assert program.data_symbols == {"a": 0, "b": 3, "c": 7}
+    assert program.data[0] == 1 and program.data[2] == 3 and program.data[7] == 9
+    assert 3 not in program.data  # .space is zero-filled (sparse)
+
+
+def test_data_label_as_immediate():
+    program = assemble("""
+        .data
+x:      .words 7
+buf:    .words 0
+        .text
+main:   ADDI r1, r0, buf
+        HALT
+""")
+    assert program.instructions[0].imm == 1
+
+
+def test_load_store_displacement_with_data_label():
+    program = assemble("""
+        .data
+arr:    .words 1 2 3
+        .text
+main:   LD r1, arr(r2)
+        ST r1, arr(r2)
+        HALT
+""")
+    assert program.instructions[0].imm == 0
+    assert program.instructions[1].imm == 0
+    assert program.instructions[0].rs1 == 2
+    assert program.instructions[1].rs2 == 1
+
+
+def test_negative_and_hex_immediates():
+    program = assemble("main: ADDI r1, r0, -5\n ADDI r2, r0, 0x1f\n HALT")
+    assert program.instructions[0].imm == -5
+    assert program.instructions[1].imm == 31
+
+
+def test_comments_stripped():
+    program = assemble("""
+main:   NOP        ; a comment
+        NOP        # another
+        HALT
+""")
+    assert len(program) == 3
+
+
+def test_label_on_own_line():
+    program = assemble("""
+main:
+        NOP
+        HALT
+""")
+    assert program.symbols["main"] == 0
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("main: FROB r1, r2, r3")
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblerError):
+        assemble("main: JMP nowhere")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble("a: NOP\na: NOP")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("main: ADD r1, r2")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblerError):
+        assemble("main: ADD r1, r2, r99")
+    with pytest.raises(AssemblerError, match="expected register"):
+        assemble("main: ADD r1, r2, 5")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="disp"):
+        assemble("main: LD r1, r2")
+
+
+def test_instruction_in_data_section():
+    with pytest.raises(AssemblerError, match="outside .text"):
+        assemble(".data\nNOP")
+
+
+def test_words_outside_data_section():
+    with pytest.raises(AssemblerError):
+        assemble(".words 1 2 3")
+
+
+def test_error_carries_line_number():
+    try:
+        assemble("NOP\nNOP\nBROKEN")
+    except AssemblerError as exc:
+        assert exc.line_no == 3
+    else:
+        pytest.fail("expected AssemblerError")
+
+
+def test_round_trip_disassembly():
+    """Disassembling and reassembling gives the same instruction stream."""
+    source = """
+main:   ADDI r1, r0, 3
+        ADD r2, r1, r1
+        LD r3, 5(r2)
+        ST r3, 6(r2)
+        BNE r1, r0, 0
+        JMP 0
+        CALL 0
+        JR r3
+        TRAP
+        RET
+        HALT
+"""
+    first = assemble(source)
+    rebuilt = assemble("\n".join(i.disassemble() for i in first.instructions))
+    assert [i.disassemble() for i in rebuilt.instructions] == \
+        [i.disassemble() for i in first.instructions]
+
+
+def test_case_insensitive_mnemonics():
+    program = assemble("main: addi r1, r0, 1\n halt")
+    assert program.instructions[0].op is Opcode.ADDI

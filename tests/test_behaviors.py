@@ -1,0 +1,121 @@
+"""Branch behaviour models: sampled parameters and realized arrays."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.behaviors import (
+    BranchBehavior,
+    BranchKind,
+    mix_counts,
+    realize_array,
+    sample_behavior,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def longest_run(values):
+    best = run = 0
+    majority = 1 if sum(values) * 2 >= len(values) else 0
+    for v in values + values:  # cyclic
+        if v == majority:
+            run += 1
+            best = max(best, run)
+        else:
+            run = 0
+    return min(best, 2 * len(values))
+
+
+def test_always_taken(rng):
+    behavior = sample_behavior(BranchKind.ALWAYS_TAKEN, rng)
+    assert behavior.p_taken == 1.0
+    assert realize_array(behavior, rng) == [1] * behavior.period
+
+
+def test_always_not_taken(rng):
+    behavior = sample_behavior(BranchKind.ALWAYS_NOT_TAKEN, rng)
+    assert behavior.p_taken == 0.0
+    assert set(realize_array(behavior, rng)) == {0}
+
+
+def test_strongly_biased_has_long_runs(rng):
+    """Strong bias must give runs long enough to promote at threshold 64."""
+    for _ in range(10):
+        behavior = sample_behavior(BranchKind.STRONGLY_BIASED, rng)
+        assert behavior.is_strongly_biased
+        values = realize_array(behavior, rng)
+        assert longest_run(values) >= 64
+
+
+def test_nearly_biased_runs_land_between_thresholds(rng):
+    """Nearly-biased branches promote at 64 but not at 256 — the paper's
+    premature-promotion population."""
+    runs = []
+    for _ in range(20):
+        behavior = sample_behavior(BranchKind.NEARLY_BIASED, rng)
+        values = realize_array(behavior, rng)
+        runs.append(longest_run(values))
+    assert max(runs) >= 64
+    assert min(runs) < 256
+
+
+def test_moderate_is_clustered_and_short_period(rng):
+    behavior = sample_behavior(BranchKind.MODERATE, rng)
+    assert behavior.period <= 64
+    assert behavior.clusters >= 1
+
+
+def test_hard_leans_but_does_not_flip_coin(rng):
+    for _ in range(10):
+        behavior = sample_behavior(BranchKind.HARD, rng)
+        p = behavior.p_taken
+        assert 0.2 <= p <= 0.8
+        assert abs(p - 0.5) >= 0.1
+
+
+def test_phase_flip_is_pure(rng):
+    behavior = sample_behavior(BranchKind.PHASE_FLIP, rng)
+    assert behavior.p_taken in (0.0, 1.0)
+    assert behavior.period == 64
+
+
+def test_realized_fraction_tracks_p(rng):
+    for kind in (BranchKind.STRONGLY_BIASED, BranchKind.MODERATE, BranchKind.HARD):
+        behavior = sample_behavior(kind, rng)
+        values = realize_array(behavior, rng)
+        realized = sum(values) / len(values)
+        assert abs(realized - behavior.p_taken) < 0.15
+
+
+def test_realize_array_length(rng):
+    behavior = BranchBehavior(BranchKind.HARD, 0.5, 128)
+    assert len(realize_array(behavior, rng)) == 128
+
+
+def test_clusters_group_minority(rng):
+    behavior = BranchBehavior(BranchKind.STRONGLY_BIASED, 0.97, 256, clusters=1)
+    values = realize_array(behavior, rng)
+    minority_positions = [i for i, v in enumerate(values) if v == 0]
+    assert minority_positions
+    # One cluster: positions contiguous (mod wrap).
+    spread = max(minority_positions) - min(minority_positions)
+    assert spread < len(minority_positions) + 2 or spread > 250
+
+
+def test_mix_counts(rng):
+    mix = {BranchKind.HARD: 0.25, BranchKind.MODERATE: 0.75}
+    kinds = mix_counts(100, mix, rng)
+    assert len(kinds) == 100
+    assert kinds.count(BranchKind.HARD) == 25
+    assert kinds.count(BranchKind.MODERATE) == 75
+
+
+def test_degenerate_p_clamped(rng):
+    behavior = BranchBehavior(BranchKind.MODERATE, 0.999, 8)
+    values = realize_array(behavior, rng)
+    assert 0 in values or sum(values) == 8  # minority forced or pure
+    behavior = BranchBehavior(BranchKind.MODERATE, 1.0, 8)
+    assert realize_array(behavior, rng) == [1] * 8

@@ -1,0 +1,116 @@
+"""The branch bias table: promotion and demotion state machine."""
+
+import pytest
+
+from repro.trace.bias_table import BranchBiasTable
+
+
+def test_consecutive_count_tracks_runs():
+    table = BranchBiasTable(entries=64, threshold=4)
+    for i in range(3):
+        entry = table.update(10, True)
+        assert entry.count == i + 1 and entry.direction is True
+    entry = table.update(10, False)
+    assert entry.count == 1 and entry.direction is False
+
+
+def test_promotion_at_threshold():
+    table = BranchBiasTable(entries=64, threshold=4)
+    for _ in range(3):
+        assert not table.update(10, True).promoted
+    entry = table.update(10, True)
+    assert entry.promoted and entry.promoted_dir is True
+    assert table.promotions == 1
+    assert table.is_promoted(10)
+    assert table.promoted_direction(10) is True
+
+
+def test_promotion_not_taken_direction():
+    table = BranchBiasTable(entries=64, threshold=3)
+    for _ in range(3):
+        table.update(10, False)
+    assert table.promoted_direction(10) is False
+
+
+def test_single_opposite_outcome_does_not_demote():
+    """The final iteration of a loop must not demote its backedge."""
+    table = BranchBiasTable(entries=64, threshold=4)
+    for _ in range(5):
+        table.update(10, True)
+    table.update(10, False)  # one fault
+    assert table.is_promoted(10)
+    assert table.demotions == 0
+
+
+def test_two_consecutive_opposites_demote():
+    table = BranchBiasTable(entries=64, threshold=4)
+    for _ in range(5):
+        table.update(10, True)
+    table.update(10, False)
+    table.update(10, False)
+    assert not table.is_promoted(10)
+    assert table.demotions == 1
+
+
+def test_opposite_then_majority_then_opposite_does_not_demote():
+    table = BranchBiasTable(entries=64, threshold=4)
+    for _ in range(5):
+        table.update(10, True)
+    table.update(10, False)
+    table.update(10, True)   # back to the promoted direction
+    table.update(10, False)  # an isolated fault again
+    assert table.is_promoted(10)
+
+
+def test_repromotion_in_the_other_direction():
+    table = BranchBiasTable(entries=8, threshold=3)
+    for _ in range(3):
+        table.update(10, True)
+    assert table.promoted_direction(10) is True
+    for _ in range(3):
+        table.update(10, False)
+    assert table.promoted_direction(10) is False
+    assert table.demotions == 1 and table.promotions == 2
+
+
+def test_bias_table_miss_loses_promotion():
+    """Eviction by a conflicting branch acts as a demotion."""
+    table = BranchBiasTable(entries=8, threshold=2)
+    table.update(3, True)
+    table.update(3, True)
+    assert table.is_promoted(3)
+    table.update(11, True)  # same slot (11 % 8 == 3), different tag: evicts
+    assert table.lookup(3) is None
+    assert not table.is_promoted(3)
+
+
+def test_tagged_lookup():
+    table = BranchBiasTable(entries=8)
+    table.update(3, True)
+    assert table.lookup(3) is not None
+    assert table.lookup(11) is None  # same slot, wrong tag
+
+
+def test_counter_cap():
+    table = BranchBiasTable(entries=8, threshold=4, counter_bits=3)
+    for _ in range(100):
+        entry = table.update(1, True)
+    assert entry.count == 7  # saturates at 2^3 - 1
+
+
+def test_threshold_wider_than_counter_rejected():
+    with pytest.raises(ValueError):
+        BranchBiasTable(entries=8, threshold=4096, counter_bits=10)
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        BranchBiasTable(entries=0)
+    with pytest.raises(ValueError):
+        BranchBiasTable(threshold=0)
+
+
+def test_paper_default_sizing():
+    table = BranchBiasTable()
+    assert table.entries == 8192
+    assert table.threshold == 64

@@ -1,0 +1,141 @@
+"""Set-associative cache and memory hierarchy."""
+
+import pytest
+
+from repro.mem import MemoryConfig, MemoryHierarchy, SetAssocCache
+
+
+def make_cache(size=1024, assoc=2, line=32):
+    return SetAssocCache(size, assoc, line)
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_same_line_hits():
+    cache = make_cache(line=32)
+    cache.access(0)
+    assert cache.access(31)
+    assert not cache.access(32)
+
+
+def test_lru_eviction_order():
+    cache = SetAssocCache(2 * 32 * 2, assoc=2, line_bytes=32)  # 2 sets, 2 ways
+    set_stride = 2 * 32  # addresses mapping to set 0
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)      # a is now most recent
+    cache.access(c)      # evicts b (LRU)
+    assert cache.probe(a)
+    assert not cache.probe(b)
+    assert cache.probe(c)
+
+
+def test_probe_has_no_side_effects():
+    cache = make_cache()
+    assert not cache.probe(0)
+    assert cache.stats.accesses == 0
+    assert not cache.access(0)
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.access(0)
+    assert cache.invalidate(0)
+    assert not cache.probe(0)
+    assert not cache.invalidate(0)
+
+
+def test_touch_allocates_without_stats():
+    cache = make_cache()
+    cache.touch(0)
+    assert cache.probe(0)
+    assert cache.stats.accesses == 0
+
+
+def test_flush():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(64)
+    cache.flush()
+    assert cache.resident_lines() == 0
+
+
+def test_capacity():
+    cache = SetAssocCache(4 * 32, assoc=4, line_bytes=32)  # 1 set, 4 ways
+    for i in range(4):
+        cache.access(i * 32)
+    assert cache.resident_lines() == 4
+    cache.access(4 * 32)  # evicts line 0
+    assert not cache.probe(0)
+    assert cache.resident_lines() == 4
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssocCache(1000, assoc=2, line_bytes=33)  # line not a power of 2
+    with pytest.raises(ValueError):
+        SetAssocCache(1000, assoc=3, line_bytes=32)  # size not divisible
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+# --- hierarchy ------------------------------------------------------------------
+
+def test_inst_latencies_follow_the_paper():
+    hierarchy = MemoryHierarchy()
+    cold = hierarchy.inst_line_latency(0)
+    assert cold == hierarchy.config.memory_latency == 50
+    l2 = MemoryHierarchy()
+    l2.l2.touch(0)
+    assert l2.inst_line_latency(0) == l2.config.l2_latency == 6
+    warm = hierarchy.inst_line_latency(0)
+    assert warm == hierarchy.config.l1i_hit_latency == 1
+
+
+def test_data_latencies():
+    hierarchy = MemoryHierarchy()
+    assert hierarchy.data_latency(0) == 50      # cold
+    assert hierarchy.data_latency(0) == hierarchy.config.l1d_hit_latency
+    assert hierarchy.data_latency(1) == hierarchy.config.l1d_hit_latency  # same line
+
+
+def test_unified_l2_shared_between_inst_and_data():
+    hierarchy = MemoryHierarchy()
+    before = hierarchy.l2.stats.accesses
+    hierarchy.inst_line_latency(0)
+    hierarchy.data_latency(0)
+    assert hierarchy.l2.stats.accesses == before + 2
+
+
+def test_inst_and_data_do_not_alias_in_l2():
+    hierarchy = MemoryHierarchy()
+    hierarchy.inst_line_latency(0)
+    # data word 0 must still miss in L2 (disjoint address spaces)
+    assert hierarchy.data_latency(0) == hierarchy.config.memory_latency
+
+
+def test_paper_configuration_sizes():
+    config = MemoryConfig()
+    assert config.l1i_bytes == 4 * 1024
+    assert config.l1d_bytes == 64 * 1024
+    assert config.l2_bytes == 1024 * 1024
+    assert config.l2_latency == 6
+    assert config.memory_latency == 50
+
+
+def test_inst_line_hit_probe():
+    hierarchy = MemoryHierarchy()
+    assert not hierarchy.inst_line_hit(0)
+    hierarchy.inst_line_latency(0)
+    assert hierarchy.inst_line_hit(0)

@@ -1,0 +1,79 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import CONFIGS, EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "tex" in out
+    assert "promotion_packing" in out
+
+
+def test_run_frontend(capsys):
+    assert main(["run", "compress", "--config", "baseline",
+                 "--instructions", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "effective fetch rate" in out
+    assert "5000" in out
+
+
+def test_run_with_promotion_flags(capsys):
+    assert main(["run", "compress", "--instructions", "5000",
+                 "--threshold", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "promo16" in out
+
+
+def test_run_machine(capsys):
+    assert main(["run", "compress", "--machine", "--instructions", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "Cycle accounting" in out
+
+
+def test_run_machine_perfect_memory(capsys):
+    assert main(["run", "compress", "--machine", "--perfect-memory",
+                 "--instructions", "3000"]) == 0
+    assert "perfmem" in capsys.readouterr().out
+
+
+def test_run_extension_flags(capsys):
+    assert main(["run", "compress", "--instructions", "5000",
+                 "--static-promotion", "--path-assoc",
+                 "--no-inactive-issue", "--packing-policy",
+                 "cost_regulated"]) == 0
+    assert "effective fetch rate" in capsys.readouterr().out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "spice"])
+
+
+def test_parser_covers_all_experiments():
+    parser = build_parser()
+    for name in EXPERIMENTS:
+        args = parser.parse_args(["experiment", name])
+        assert args.name == name
+
+
+def test_experiment_command_runs(capsys, monkeypatch):
+    # Shrink run lengths so the experiment is quick.
+    import repro.experiments.runner as runner
+    monkeypatch.setattr(runner, "default_length", lambda b: 5000)
+    monkeypatch.setattr(runner, "machine_length", lambda b: 2000)
+    runner.clear_caches()
+    try:
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 or 1" in out
+    finally:
+        runner.clear_caches()
+
+
+def test_config_names_resolve():
+    for name, config in CONFIGS.items():
+        assert config.kind in ("tc", "icache"), name

@@ -1,0 +1,69 @@
+"""Configuration presets and helpers."""
+
+import pytest
+
+from repro import config as cfg
+from repro.config import CoreConfig, FrontEndConfig, MachineConfig
+from repro.trace.fill_unit import PackingPolicy
+
+
+def test_paper_presets():
+    assert cfg.ICACHE.kind == "icache"
+    assert cfg.BASELINE.kind == "tc"
+    assert not cfg.BASELINE.promote
+    assert cfg.BASELINE.packing is PackingPolicy.ATOMIC
+    assert cfg.PACKING.packing is PackingPolicy.UNREGULATED
+    assert cfg.PROMOTION.promote and cfg.PROMOTION.promote_threshold == 64
+    assert cfg.PROMOTION_PACKING.promote
+    assert cfg.PROMOTION_PACKING.packing is PackingPolicy.UNREGULATED
+    assert cfg.PROMOTION_COST_REG.packing is PackingPolicy.COST_REGULATED
+
+
+def test_describe_strings():
+    assert cfg.ICACHE.describe() == "icache"
+    assert cfg.BASELINE.describe() == "tc"
+    assert "promo64" in cfg.PROMOTION.describe()
+    assert "unregulated" in cfg.PROMOTION_PACKING.describe()
+    assert "cost_regulated" in cfg.PROMOTION_COST_REG.describe()
+
+
+def test_promotion_with_threshold():
+    config = cfg.promotion_with_threshold(128)
+    assert config.promote and config.promote_threshold == 128
+    assert config.packing is PackingPolicy.ATOMIC
+
+
+def test_promotion_with_packing():
+    config = cfg.promotion_with_packing(PackingPolicy.CHUNK4)
+    assert config.promote and config.promote_threshold == 64
+    assert config.packing is PackingPolicy.CHUNK4
+
+
+def test_machine_config_describe():
+    plain = MachineConfig(frontend=cfg.BASELINE)
+    perfect = MachineConfig(frontend=cfg.BASELINE,
+                            core=CoreConfig(perfect_disambiguation=True))
+    assert plain.describe() == "tc"
+    assert perfect.describe() == "tc+perfmem"
+
+
+def test_configs_are_hashable_and_frozen():
+    assert hash(cfg.BASELINE) != hash(cfg.PROMOTION)
+    with pytest.raises(Exception):
+        cfg.BASELINE.promote = True
+    assert {cfg.BASELINE: 1}[cfg.BASELINE] == 1
+
+
+def test_paper_core_defaults():
+    core = CoreConfig()
+    assert core.n_fus == 16
+    assert core.rs_per_fu == 64
+    assert core.fetch_width == core.issue_width == core.retire_width == 16
+    assert core.checkpoints_per_cycle == 3
+    assert not core.perfect_disambiguation
+
+
+def test_split_predictor_describe():
+    from dataclasses import replace
+    config = replace(cfg.PROMOTION, predictor="split")
+    assert "split" in config.describe()

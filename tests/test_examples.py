@@ -1,0 +1,52 @@
+"""The examples must run end-to-end (small arguments keep this fast)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py", "compress", "20000")
+    assert "Effective fetch rate" in out
+    assert "trace cache (baseline)" in out
+
+
+def test_promotion_threshold_study_runs():
+    out = run_example("promotion_threshold_study.py", "compress", "20000")
+    assert "threshold = 64" in out
+
+
+def test_packing_policies_runs():
+    out = run_example("packing_policies.py", "compress", "20000")
+    assert "cost_regulated" in out
+
+
+def test_end_to_end_ipc_runs():
+    out = run_example("end_to_end_ipc.py", "compress", "6000")
+    assert "IPC" in out
+    assert "perfect disambiguation" in out
+
+
+def test_custom_program_runs():
+    out = run_example("custom_program.py")
+    assert "Full machine" in out
+    assert "promotion@64" in out
+
+
+def test_trace_cache_anatomy_runs():
+    out = run_example("trace_cache_anatomy.py", "compress")
+    assert "Branch population" in out
+    assert "duplication" in out

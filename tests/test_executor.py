@@ -1,0 +1,221 @@
+"""Functional execution semantics, opcode by opcode."""
+
+import pytest
+
+from repro.isa import assemble, FunctionalExecutor
+from repro.isa.executor import STACK_BASE, ExecState, step_instruction
+from repro.isa.instruction import Instruction, NUM_REGS, REG_LINK, REG_SP
+from repro.isa.opcodes import Opcode
+
+
+def run(source, max_instructions=10_000):
+    executor = FunctionalExecutor(assemble(source), max_instructions=max_instructions)
+    executor.run_to_completion()
+    return executor.state
+
+
+def step(op, regs=None, **kwargs):
+    regs = regs if regs is not None else [0] * NUM_REGS
+    memory = kwargs.pop("memory", {})
+    inst = Instruction(addr=kwargs.pop("addr", 0), op=op, **kwargs)
+    result = step_instruction(inst, regs, memory.get if not isinstance(memory, dict)
+                              else (lambda a: memory.get(a, 0)),
+                              lambda a, v: memory.__setitem__(a, v))
+    return result, regs, memory
+
+
+# --- ALU -----------------------------------------------------------------
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    (Opcode.ADD, 3, 4, 7),
+    (Opcode.SUB, 10, 4, 6),
+    (Opcode.AND, 0b1100, 0b1010, 0b1000),
+    (Opcode.OR, 0b1100, 0b1010, 0b1110),
+    (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+    (Opcode.SHL, 3, 4, 48),
+    (Opcode.SHR, 48, 4, 3),
+    (Opcode.MUL, 7, 6, 42),
+    (Opcode.SLT, 3, 4, 1),
+    (Opcode.SLT, 4, 3, 0),
+])
+def test_reg3_semantics(op, a, b, expected):
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = a, b
+    _result, regs, _mem = step(op, regs=regs, rd=3, rs1=1, rs2=2)
+    assert regs[3] == expected
+
+
+def test_sub_wraps_to_unsigned():
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = 1, 2
+    _r, regs, _m = step(Opcode.SUB, regs=regs, rd=3, rs1=1, rs2=2)
+    assert regs[3] == (1 << 64) - 1
+
+
+def test_slt_is_signed():
+    regs = [0] * NUM_REGS
+    regs[1] = (1 << 64) - 1  # -1 as two's complement
+    regs[2] = 1
+    _r, regs, _m = step(Opcode.SLT, regs=regs, rd=3, rs1=1, rs2=2)
+    assert regs[3] == 1
+
+
+@pytest.mark.parametrize("op,a,imm,expected", [
+    (Opcode.ADDI, 3, 4, 7),
+    (Opcode.ADDI, 3, -4, (1 << 64) - 1),
+    (Opcode.ANDI, 0b1100, 0b1010, 0b1000),
+    (Opcode.ORI, 0b1100, 0b0011, 0b1111),
+    (Opcode.XORI, 0b1100, 0b1010, 0b0110),
+    (Opcode.SLTI, 3, 4, 1),
+    (Opcode.SLTI, 5, 4, 0),
+])
+def test_imm_semantics(op, a, imm, expected):
+    regs = [0] * NUM_REGS
+    regs[1] = a
+    _r, regs, _m = step(op, regs=regs, rd=3, rs1=1, imm=imm)
+    assert regs[3] == expected
+
+
+def test_lui():
+    _r, regs, _m = step(Opcode.LUI, rd=3, imm=5)
+    assert regs[3] == 5 << 16
+
+
+def test_writes_to_r0_ignored():
+    regs = [0] * NUM_REGS
+    regs[1] = 5
+    _r, regs, _m = step(Opcode.ADD, regs=regs, rd=0, rs1=1, rs2=1)
+    assert regs[0] == 0
+
+
+# --- memory ---------------------------------------------------------------
+
+def test_load_and_store():
+    regs = [0] * NUM_REGS
+    regs[1] = 100
+    memory = {108: 77}
+    result, regs, memory = step(Opcode.LD, regs=regs, rd=3, rs1=1, imm=8, memory=memory)
+    assert regs[3] == 77 and result.mem_addr == 108
+
+    regs[4] = 55
+    result, regs, memory = step(Opcode.ST, regs=regs, rs1=1, rs2=4, imm=9, memory=memory)
+    assert memory[109] == 55 and result.mem_addr == 109 and result.value == 55
+
+
+def test_uninitialized_memory_reads_zero():
+    _r, regs, _m = step(Opcode.LD, rd=3, rs1=1, imm=123)
+    assert regs[3] == 0
+
+
+# --- control -------------------------------------------------------------
+
+@pytest.mark.parametrize("op,a,b,taken", [
+    (Opcode.BEQ, 5, 5, True), (Opcode.BEQ, 5, 6, False),
+    (Opcode.BNE, 5, 6, True), (Opcode.BNE, 5, 5, False),
+    (Opcode.BLT, 4, 5, True), (Opcode.BLT, 5, 4, False), (Opcode.BLT, 5, 5, False),
+    (Opcode.BGE, 5, 5, True), (Opcode.BGE, 4, 5, False),
+])
+def test_branch_conditions(op, a, b, taken):
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = a, b
+    result, _regs, _m = step(op, regs=regs, rs1=1, rs2=2, target=50, addr=10)
+    assert result.taken is taken
+    assert result.next_pc == (50 if taken else 11)
+
+
+def test_blt_signed_comparison():
+    regs = [0] * NUM_REGS
+    regs[1] = (1 << 64) - 5  # -5
+    regs[2] = 3
+    result, _regs, _m = step(Opcode.BLT, regs=regs, rs1=1, rs2=2, target=50)
+    assert result.taken is True
+
+
+def test_jmp():
+    result, _regs, _m = step(Opcode.JMP, target=99, addr=10)
+    assert result.next_pc == 99 and result.taken is None
+
+
+def test_call_links_and_jumps():
+    result, regs, _m = step(Opcode.CALL, target=99, addr=10)
+    assert result.next_pc == 99
+    assert regs[REG_LINK] == 11
+
+
+def test_ret_jumps_to_link():
+    regs = [0] * NUM_REGS
+    regs[REG_LINK] = 77
+    result, _regs, _m = step(Opcode.RET, regs=regs, addr=10)
+    assert result.next_pc == 77
+
+
+def test_jr_jumps_through_register():
+    regs = [0] * NUM_REGS
+    regs[4] = 33
+    result, _regs, _m = step(Opcode.JR, regs=regs, rs1=4, addr=10)
+    assert result.next_pc == 33
+
+
+def test_trap_and_nop_fall_through():
+    for op in (Opcode.TRAP, Opcode.NOP):
+        result, _regs, _m = step(op, addr=10)
+        assert result.next_pc == 11
+
+
+def test_halt():
+    result, _regs, _m = step(Opcode.HALT, addr=10)
+    assert result.halted
+
+
+# --- whole-program execution -----------------------------------------------
+
+def test_loop_program_sums(loop_program):
+    executor = FunctionalExecutor(loop_program)
+    executor.run_to_completion()
+    # sum 20..1 == 210
+    assert executor.state.regs[4] == 210
+    assert executor.state.memory[loop_program.data_symbols["arr"] + 2] == 210
+    assert executor.state.regs[5] == 42
+
+
+def test_branchy_program_counts(branchy_program):
+    executor = FunctionalExecutor(branchy_program)
+    executor.run_to_completion()
+    # 40 iterations over flags with 7/8 ones => 35 increments
+    assert executor.state.regs[20] == 35
+
+
+def test_switch_program_dispatch(switch_program):
+    executor = FunctionalExecutor(switch_program)
+    executor.run_to_completion()
+    # 24 iterations over the case pattern [0 1 2 0 1 0 0 2]
+    assert executor.state.regs[20] == 12  # case0 appears 4x per period of 8
+    assert executor.state.regs[21] == 6
+    assert executor.state.regs[22] == 6
+
+
+def test_max_instructions_cap():
+    executor = FunctionalExecutor(assemble("main: JMP main"), max_instructions=100)
+    assert executor.run_to_completion() == 100
+    assert executor.state.halted
+
+
+def test_initial_state():
+    state = ExecState.for_program(assemble("main: HALT"))
+    assert state.regs[REG_SP] == STACK_BASE
+    assert state.pc == 0 and not state.halted
+
+
+def test_stream_yields_sequence(loop_program):
+    executor = FunctionalExecutor(loop_program, max_instructions=10)
+    stream = list(executor.run())
+    assert len(stream) == 10
+    assert [d.seq for d in stream] == list(range(10))
+    assert stream[0].inst.addr == loop_program.entry
+
+
+def test_running_off_image_halts():
+    program = assemble("main: NOP")  # no HALT
+    executor = FunctionalExecutor(program)
+    assert executor.run_to_completion() == 1
+    assert executor.state.halted

@@ -1,0 +1,168 @@
+"""Extension features: static promotion, path associativity, inactive-issue
+ablation (DESIGN.md section 5 + the paper's discussion sections)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import BASELINE, PROMOTION, generate_program
+from repro.frontend.simulator import FrontEndSimulator, compute_oracle
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.fill_unit import FillUnit
+from repro.trace.segment import FinalizeReason, TraceSegment
+from repro.trace.static_promotion import profile_biased_branches
+from repro.trace.trace_cache import TraceCache
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program("m88ksim")
+
+
+@pytest.fixture(scope="module")
+def oracle(program):
+    return compute_oracle(program, 60_000)
+
+
+# --- static promotion --------------------------------------------------------
+
+def test_profile_finds_biased_branches(program):
+    promotions = profile_biased_branches(program, max_instructions=60_000)
+    assert len(promotions) > 5
+    for promo in promotions.values():
+        assert promo.executions >= 32
+        assert promo.taken_rate >= 0.95 or promo.taken_rate <= 0.05
+        assert promo.direction == (promo.taken_rate >= 0.5)
+
+
+def test_profile_threshold_validation(program):
+    with pytest.raises(ValueError):
+        profile_biased_branches(program, bias_threshold=0.4)
+
+
+def test_static_promotion_needs_no_warmup(program, oracle):
+    """Statically promoted branches are promoted from the first fetch."""
+    static = FrontEndSimulator(program, replace(BASELINE, promote_static=True),
+                               oracle=oracle).run()
+    dynamic = FrontEndSimulator(program, PROMOTION, oracle=oracle).run()
+    assert static.stats.promoted_branches > 0
+    # No warm-up: static promotion covers at least as many executions.
+    assert static.stats.promoted_branches >= dynamic.stats.promoted_branches
+
+
+def test_static_and_dynamic_promotion_exclusive():
+    cache = TraceCache(64, 4)
+    with pytest.raises(ValueError):
+        FillUnit(cache, promote=True, static_promotions={},
+                 bias_table=None)
+
+
+def test_static_promotion_in_fill_unit():
+    cache = TraceCache(64, 4)
+    from repro.trace.static_promotion import StaticPromotion
+    statics = {5: StaticPromotion(addr=5, direction=False, executions=100,
+                                  taken_rate=0.01)}
+    fill = FillUnit(cache, static_promotions=statics)
+    fill.retire(Instruction(addr=4, op=Opcode.NOP))
+    fill.retire(Instruction(addr=5, op=Opcode.BNE, rs1=1, rs2=0, target=9),
+                taken=False)
+    fill.retire(Instruction(addr=6, op=Opcode.RET))
+    fill.flush()
+    segment = cache.probe(4)
+    assert segment is not None
+    branch = segment.branch_at(1)
+    assert branch.promoted and branch.direction is False
+
+
+def test_static_promotion_faulting_direction_not_embedded():
+    cache = TraceCache(64, 4)
+    from repro.trace.static_promotion import StaticPromotion
+    statics = {5: StaticPromotion(addr=5, direction=False, executions=100,
+                                  taken_rate=0.01)}
+    fill = FillUnit(cache, static_promotions=statics)
+    fill.retire(Instruction(addr=5, op=Opcode.BNE, rs1=1, rs2=0, target=9),
+                taken=True)  # against the static direction
+    fill.retire(Instruction(addr=9, op=Opcode.RET))
+    fill.flush()
+    assert not cache.probe(5).branch_at(0).promoted
+
+
+# --- path associativity ---------------------------------------------------------
+
+def _segment(start, direction):
+    branch_inst = Instruction(addr=start, op=Opcode.BNE, rs1=1, rs2=0,
+                              target=start + 10)
+    follow = start + 10 if direction else start + 1
+    from repro.trace.segment import SegmentBranch
+    segment = TraceSegment(
+        start_addr=start,
+        instructions=[branch_inst, Instruction(addr=follow, op=Opcode.NOP)],
+        branches=[SegmentBranch(0, direction, False)],
+        finalize_reason=FinalizeReason.MAX_SIZE,
+    )
+    segment.next_addr = segment.compute_next_addr()
+    return segment
+
+
+def test_path_associativity_keeps_both_paths():
+    cache = TraceCache(n_lines=64, assoc=4, path_assoc=True)
+    cache.insert(_segment(100, True))
+    cache.insert(_segment(100, False))
+    assert len(cache.lookup_candidates(100)) == 2
+
+
+def test_without_path_associativity_second_path_evicts():
+    cache = TraceCache(n_lines=64, assoc=4, path_assoc=False)
+    cache.insert(_segment(100, True))
+    cache.insert(_segment(100, False))
+    assert cache.resident_segments() == 1
+
+
+def test_path_assoc_same_path_overwrites():
+    cache = TraceCache(n_lines=64, assoc=4, path_assoc=True)
+    cache.insert(_segment(100, True))
+    cache.insert(_segment(100, True))
+    assert len(cache.lookup_candidates(100)) == 1
+    assert cache.stats.overwrites == 1
+
+
+def test_path_assoc_frontend_runs(program, oracle):
+    result = FrontEndSimulator(program, replace(BASELINE, path_associativity=True),
+                               oracle=oracle).run()
+    assert result.instructions_retired == len(oracle)
+    # Path associativity never reduces hit opportunity.
+    base = FrontEndSimulator(program, BASELINE, oracle=oracle).run()
+    assert result.tc_hits >= 0.9 * base.tc_hits
+
+
+# --- inactive issue ablation ------------------------------------------------------
+
+def test_disabling_inactive_issue_costs_fetch_rate(program, oracle):
+    on = FrontEndSimulator(program, BASELINE, oracle=oracle).run()
+    off = FrontEndSimulator(program, replace(BASELINE, inactive_issue=False),
+                            oracle=oracle).run()
+    assert off.instructions_retired == on.instructions_retired
+    assert off.effective_fetch_rate <= on.effective_fetch_rate
+
+
+def test_inactive_issue_flag_reaches_engine(program):
+    from repro.frontend.build import build_engine
+    engine = build_engine(program, replace(BASELINE, inactive_issue=False))
+    assert not engine.inactive_issue
+
+
+def test_machine_runs_with_extensions(program):
+    """The full machine stays architecturally correct with every extension."""
+    from repro.config import MachineConfig
+    from repro.core.machine import Machine
+    from repro.isa import FunctionalExecutor
+    n = 8_000
+    reference = FunctionalExecutor(program, max_instructions=n)
+    reference.run_to_completion()
+    for fe in (replace(BASELINE, promote_static=True),
+               replace(BASELINE, path_associativity=True),
+               replace(BASELINE, inactive_issue=False)):
+        machine = Machine(program, MachineConfig(frontend=fe), max_instructions=n)
+        machine.run()
+        assert machine.arch_regs == reference.state.regs, fe

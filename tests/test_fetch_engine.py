@@ -1,0 +1,211 @@
+"""Fetch engines: trace-cache path, icache path, partial matching."""
+
+import pytest
+
+from repro.branch.multiple import MultipleBranchPredictor
+from repro.config import BASELINE, ICACHE
+from repro.frontend.build import build_engine
+from repro.frontend.fetch import FETCH_WIDTH, ICacheFetchEngine, TraceFetchEngine
+from repro.frontend.stats import FetchReason
+from repro.isa import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.segment import FinalizeReason, SegmentBranch, TraceSegment
+
+
+STRAIGHT = "main:" + "\n NOP" * 30 + "\n HALT"
+
+
+def warm_icache(engine, addrs):
+    for addr in addrs:
+        engine.memory.inst_line_latency(addr)
+
+
+def test_icache_block_ends_at_control(branchy_program):
+    engine = build_engine(branchy_program, ICACHE)
+    loop = branchy_program.symbols["loop"]
+    warm_icache(engine, range(len(branchy_program)))
+    result = engine.fetch(loop)
+    assert result.source == "icache"
+    assert result.active[-1].op is Opcode.BEQ
+    assert result.raw_reason is FetchReason.ICACHE
+    assert result.predictions_used == 1
+
+
+def test_icache_block_caps_at_fetch_width():
+    program = assemble(STRAIGHT)
+    engine = build_engine(program, ICACHE)
+    warm_icache(engine, range(len(program)))
+    result = engine.fetch(0)
+    assert len(result.active) == FETCH_WIDTH
+    assert result.raw_reason is FetchReason.MAX_SIZE
+    assert result.next_pc == FETCH_WIDTH
+
+
+def test_icache_miss_reports_stall():
+    program = assemble(STRAIGHT)
+    engine = build_engine(program, ICACHE)
+    result = engine.fetch(0)
+    assert result.stall_cycles > 0
+    result = engine.fetch(0)
+    assert result.stall_cycles == 0
+
+
+def test_icache_call_pushes_ras(loop_program):
+    engine = build_engine(loop_program, ICACHE)
+    warm_icache(engine, range(len(loop_program)))
+    call_addr = next(i.addr for i in loop_program.instructions if i.op is Opcode.CALL)
+    result = engine.fetch(call_addr)
+    assert result.next_pc == loop_program.symbols["fn"]
+    assert len(engine.ras) == 1
+    # Fetching the RET pops the pushed return address.
+    ret_addr = next(i.addr for i in loop_program.instructions if i.op is Opcode.RET)
+    result = engine.fetch(ret_addr)
+    assert result.next_pc == call_addr + 1
+
+
+def test_trace_engine_falls_back_to_icache(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    result = engine.fetch(branchy_program.entry)
+    assert result.source == "icache"  # trace cache is cold
+
+
+def _install_segment(engine, program, addrs, dirs=None, promoted=None,
+                     reason=FinalizeReason.MAX_SIZE):
+    """Hand-build a segment from program instructions and insert it."""
+    insts = [program.instructions[a] for a in addrs]
+    branches = []
+    dirs = dirs or {}
+    promoted = promoted or set()
+    for pos, inst in enumerate(insts):
+        if inst.op.is_cond_branch:
+            branches.append(SegmentBranch(pos, dirs.get(inst.addr, False),
+                                          inst.addr in promoted))
+    segment = TraceSegment(start_addr=insts[0].addr, instructions=insts,
+                           branches=branches, finalize_reason=reason)
+    nxt = segment.compute_next_addr()
+    segment.next_addr = -1 if nxt is None else nxt
+    segment.validate()
+    engine.trace_cache.insert(segment)
+    return segment
+
+
+def test_trace_hit_supplies_segment(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    loop = branchy_program.symbols["loop"]
+    skip = branchy_program.symbols["skip"]
+    beq_addr = skip - 3  # the BEQ before the two ADDs
+    segment = _install_segment(
+        engine, branchy_program,
+        [loop, loop + 1, loop + 2, loop + 3, loop + 4],  # up to the BEQ... compute below
+    )
+    result = engine.fetch(loop)
+    assert result.source == "tc"
+    assert result.segment is segment
+
+
+def test_partial_match_divergence(branchy_program):
+    """Prediction disagreeing with the embedded path truncates the fetch."""
+    engine = build_engine(branchy_program, BASELINE)
+    loop = branchy_program.symbols["loop"]
+    skip = branchy_program.symbols["skip"]
+    beq_addr = next(i.addr for i in branchy_program.instructions
+                    if i.op is Opcode.BEQ)
+    # Segment embeds BEQ not-taken and continues into the ADDs.
+    addrs = list(range(loop, beq_addr + 1)) + [beq_addr + 1, beq_addr + 2]
+    _install_segment(engine, branchy_program, addrs, dirs={beq_addr: False})
+    # Force the predictor to say "taken" for the first prediction.
+    row = engine.predictor.row_index(loop, engine.ghr.value)
+    for _ in range(4):
+        engine.predictor.update(row, 0, (), True)
+    result = engine.fetch(loop)
+    assert result.divergence
+    assert result.raw_reason is FetchReason.PARTIAL_MATCH
+    assert result.active[-1].addr == beq_addr
+    assert [i.addr for i in result.inactive] == [beq_addr + 1, beq_addr + 2]
+    assert result.next_pc == skip  # the predicted (taken) target
+
+
+def test_full_match_follows_segment_successor(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    loop = branchy_program.symbols["loop"]
+    beq_addr = next(i.addr for i in branchy_program.instructions
+                    if i.op is Opcode.BEQ)
+    addrs = list(range(loop, beq_addr + 1)) + [beq_addr + 1, beq_addr + 2]
+    segment = _install_segment(engine, branchy_program, addrs, dirs={beq_addr: False})
+    # Predictor default: weakly not-taken => agrees with embedded path.
+    result = engine.fetch(loop)
+    assert not result.divergence
+    assert result.next_pc == segment.next_addr
+    assert result.predictions_used == 1
+
+
+def test_promoted_branch_consumes_no_prediction(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    loop = branchy_program.symbols["loop"]
+    beq_addr = next(i.addr for i in branchy_program.instructions
+                    if i.op is Opcode.BEQ)
+    addrs = list(range(loop, beq_addr + 1)) + [beq_addr + 1, beq_addr + 2]
+    _install_segment(engine, branchy_program, addrs, dirs={beq_addr: False},
+                     promoted={beq_addr})
+    result = engine.fetch(loop)
+    assert result.predictions_used == 0
+    assert not result.pred_records
+    assert result.active_promoted[[i.addr for i in result.active].index(beq_addr)]
+
+
+def test_fault_override_forces_direction(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    loop = branchy_program.symbols["loop"]
+    skip = branchy_program.symbols["skip"]
+    beq_addr = next(i.addr for i in branchy_program.instructions
+                    if i.op is Opcode.BEQ)
+    addrs = list(range(loop, beq_addr + 1)) + [beq_addr + 1, beq_addr + 2]
+    _install_segment(engine, branchy_program, addrs, dirs={beq_addr: False},
+                     promoted={beq_addr})
+    engine.add_fault_override(beq_addr, True)
+    result = engine.fetch(loop)
+    # The override redirects along the taken path, diverging from the trace.
+    assert result.divergence
+    assert result.next_pc == skip
+    # The override is one-shot.
+    result = engine.fetch(loop)
+    assert not result.divergence
+
+
+def test_ghr_advances_with_predictions(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    warm_icache(engine, range(len(branchy_program)))
+    before = engine.ghr.value
+    loop = branchy_program.symbols["loop"]
+    engine.fetch(loop)  # icache block ending in BEQ: one push
+    assert engine.ghr.value in ((before << 1) & engine.ghr.mask,
+                                ((before << 1) | 1) & engine.ghr.mask)
+
+
+def test_snapshot_restore_roundtrip(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    engine.ghr.push(True)
+    engine.ras.push(42)
+    snap = engine.snapshot()
+    engine.ghr.push(False)
+    engine.ras.pop()
+    engine.restore(snap)
+    assert engine.ghr.value == 1
+    assert engine.ras.pop() == 42
+
+
+def test_control_snapshots_recorded(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    warm_icache(engine, range(len(branchy_program)))
+    loop = branchy_program.symbols["loop"]
+    result = engine.fetch(loop)
+    assert result.pred_records
+    assert len(result.control_snapshots) == 1
+
+
+def test_off_image_fetch_returns_empty(branchy_program):
+    engine = build_engine(branchy_program, BASELINE)
+    result = engine.fetch(10_000)
+    assert result.active == []
+    assert result.next_pc == 10_000

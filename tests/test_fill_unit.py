@@ -1,0 +1,406 @@
+"""The fill unit: block formation, every packing policy, promotion."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.bias_table import BranchBiasTable
+from repro.trace.fill_unit import FillUnit, PackingPolicy
+from repro.trace.segment import FinalizeReason
+from repro.trace.trace_cache import TraceCache
+
+
+class Harness:
+    """Feeds a synthetic retire stream and records finalized segments."""
+
+    def __init__(self, policy=PackingPolicy.ATOMIC, promote=False, threshold=4):
+        self.cache = TraceCache(n_lines=512, assoc=4)
+        self.segments = []
+        original_insert = self.cache.insert
+
+        def recording_insert(segment):
+            self.segments.append(segment)
+            original_insert(segment)
+
+        self.cache.insert = recording_insert
+        bias = BranchBiasTable(entries=256, threshold=threshold) if promote else None
+        self.fill = FillUnit(self.cache, bias_table=bias, policy=policy, promote=promote)
+        self.addr = 0
+
+    def straightline(self, n):
+        for _ in range(n):
+            self.fill.retire(Instruction(addr=self.addr, op=Opcode.NOP))
+            self.addr += 1
+
+    def block(self, n, taken=False):
+        """n-1 NOPs followed by a conditional branch."""
+        self.straightline(n - 1)
+        target = self.addr + 10 if taken else self.addr + 1
+        self.fill.retire(
+            Instruction(addr=self.addr, op=Opcode.BNE, rs1=1, rs2=0, target=target),
+            taken=taken,
+        )
+        self.addr = target if taken else self.addr + 1
+
+    def ret(self):
+        self.fill.retire(Instruction(addr=self.addr, op=Opcode.RET))
+        self.addr += 17  # arbitrary: next fetch elsewhere
+
+    def flush(self):
+        self.fill.flush()
+        return self.segments
+
+
+# --- block formation -----------------------------------------------------
+
+def test_blocks_merge_atomically_when_they_fit():
+    h = Harness()
+    h.block(5)
+    h.block(5)
+    h.block(5)
+    segments = h.flush()
+    # 5+5+5 = 15 <= 16 with 3 branches: one segment.
+    assert len(segments) == 1
+    assert len(segments[0]) == 15
+    assert segments[0].num_dynamic_branches == 3
+
+
+def test_atomic_block_that_does_not_fit_finalizes_pending():
+    h = Harness()
+    h.block(13)
+    h.block(9)  # 13 + 9 > 16 -> pending finalized at 13
+    segments = h.flush()
+    assert len(segments[0]) == 13
+    assert segments[0].finalize_reason is FinalizeReason.ATOMIC_BLOCK
+    assert len(segments[1]) == 9
+
+
+def test_max_branches_finalizes():
+    h = Harness()
+    for _ in range(4):
+        h.block(3)  # 4th branch cannot enter: 3-branch limit
+    segments = h.flush()
+    assert segments[0].finalize_reason is FinalizeReason.MAX_BRANCHES
+    assert segments[0].num_dynamic_branches == 3
+    assert len(segments[0]) == 9
+
+
+def test_exact_16_finalizes_max_size():
+    h = Harness()
+    h.block(8)
+    h.block(8)
+    segments = h.flush()
+    assert len(segments[0]) == 16
+    assert segments[0].finalize_reason is FinalizeReason.MAX_SIZE
+
+
+def test_return_ends_segment():
+    h = Harness()
+    h.block(4)
+    h.ret()
+    segments = h.flush()
+    assert segments[0].finalize_reason is FinalizeReason.SEG_ENDER
+    assert segments[0].instructions[-1].op is Opcode.RET
+
+
+def test_straightline_fragment_cap():
+    h = Harness()
+    h.straightline(40)
+    segments = h.flush()
+    assert [len(s) for s in segments[:2]] == [16, 16]
+
+
+def test_taken_branches_create_discontiguous_segments():
+    h = Harness()
+    h.block(4, taken=True)
+    h.block(4, taken=True)
+    segments = h.flush()
+    segment = segments[0]
+    assert len(segment) == 8
+    # Validation (contiguity along embedded path) already ran at insert;
+    # check the embedded directions survived.
+    assert all(b.direction for b in segment.branches)
+
+
+def test_uncond_jump_does_not_end_block():
+    h = Harness()
+    h.straightline(3)
+    h.fill.retire(Instruction(addr=h.addr, op=Opcode.JMP, target=h.addr + 5))
+    h.addr += 5
+    h.straightline(3)
+    h.block(2)
+    segments = h.flush()
+    assert len(segments[0]) == 9  # 3 + JMP + 3 + block(2), one segment
+
+
+# --- packing policies ------------------------------------------------------
+
+def test_unregulated_packing_fills_to_16():
+    h = Harness(policy=PackingPolicy.UNREGULATED)
+    h.block(13)
+    h.block(9)
+    segments = h.flush()
+    assert len(segments[0]) == 16
+    assert segments[0].finalize_reason is FinalizeReason.MAX_SIZE
+    # Remainder of the split block starts the next segment.
+    assert len(segments[1]) == 6
+
+
+def test_packing_example_from_the_paper():
+    """5 free slots, incoming block of 9: 5 finish the segment, 4 start
+    the next one."""
+    h = Harness(policy=PackingPolicy.UNREGULATED)
+    h.block(11)  # pending 11
+    h.block(9)
+    segments = h.flush()
+    assert len(segments[0]) == 16
+    assert len(segments[1]) == 4
+
+
+def test_packing_respects_branch_limit():
+    h = Harness(policy=PackingPolicy.UNREGULATED)
+    h.block(2)
+    h.block(2)
+    h.block(2)
+    h.block(4)  # its branch would be the 4th
+    segments = h.flush()
+    assert segments[0].num_dynamic_branches == 3
+    assert segments[0].finalize_reason is FinalizeReason.MAX_BRANCHES
+    assert len(segments[0]) == 9  # 2+2+2 plus 3 of the split block
+
+
+def test_chunk2_splits_at_even_offsets():
+    h = Harness(policy=PackingPolicy.CHUNK2)
+    h.block(13)
+    h.block(9)  # free 3 -> only 2 instructions may enter
+    segments = h.flush()
+    assert len(segments[0]) == 15
+    assert len(segments[1]) == 7
+
+
+def test_chunk4_may_refuse_small_splits():
+    h = Harness(policy=PackingPolicy.CHUNK4)
+    h.block(14)
+    h.block(9)  # free 2 < 4 -> nothing enters; behaves atomically
+    segments = h.flush()
+    assert len(segments[0]) == 14
+    assert segments[0].finalize_reason is FinalizeReason.ATOMIC_BLOCK
+    assert len(segments[1]) == 9
+
+
+def test_cost_regulated_packs_only_when_cheap():
+    # Pending of 12: free slots (4) < half of 12 -> refuse to split.
+    h = Harness(policy=PackingPolicy.COST_REGULATED)
+    h.block(12)
+    h.block(9)
+    segments = h.flush()
+    assert len(segments[0]) == 12
+    assert segments[0].finalize_reason is FinalizeReason.ATOMIC_BLOCK
+
+
+def test_cost_regulated_packs_when_half_free():
+    # Pending of 8: free slots (8) >= half of 8 -> split allowed.
+    h = Harness(policy=PackingPolicy.COST_REGULATED)
+    h.block(8)
+    h.block(10)
+    segments = h.flush()
+    assert len(segments[0]) == 16
+
+
+def test_cost_regulated_packs_tight_loops():
+    """A pending backward branch with displacement <= 32 allows packing."""
+    h = Harness(policy=PackingPolicy.COST_REGULATED)
+    h.straightline(11)
+    # Backward loop branch: target well within 32 instructions.
+    h.fill.retire(
+        Instruction(addr=h.addr, op=Opcode.BNE, rs1=1, rs2=0, target=h.addr - 8),
+        taken=True,
+    )
+    h.addr -= 8
+    h.block(9)  # pending 12, free 4 < 6; but the loop branch allows packing
+    segments = h.flush()
+    assert len(segments[0]) == 16
+
+
+def test_policy_granules():
+    assert PackingPolicy.UNREGULATED.granule == 1
+    assert PackingPolicy.CHUNK2.granule == 2
+    assert PackingPolicy.CHUNK4.granule == 4
+    assert not PackingPolicy.ATOMIC.packs
+    assert PackingPolicy.COST_REGULATED.packs
+
+
+# --- promotion -------------------------------------------------------------
+
+def test_promotion_requires_bias_table():
+    with pytest.raises(ValueError):
+        FillUnit(TraceCache(64, 4), promote=True)
+
+
+def _promote(h, addr, times, taken=False):
+    """Retire a tiny valid trace ending in RET ``times`` times so the
+    branch at ``addr`` accumulates consecutive outcomes."""
+    target = addr + 10 if taken else addr + 1
+    for _ in range(times):
+        h.fill.retire(Instruction(addr=addr, op=Opcode.BNE, rs1=1, rs2=0, target=target),
+                      taken=taken)
+        h.fill.retire(Instruction(addr=target, op=Opcode.RET))
+    h.fill.flush()
+    h.segments.clear()
+
+
+def test_promoted_branch_does_not_end_block():
+    h = Harness(promote=True, threshold=2)
+    _promote(h, 100, times=3)
+    assert h.fill.bias_table.is_promoted(100)
+    # Retire the promoted branch inside a run: it must merge into one block.
+    h.fill.retire(Instruction(addr=99, op=Opcode.NOP))
+    h.fill.retire(Instruction(addr=100, op=Opcode.BNE, rs1=1, rs2=0, target=101),
+                  taken=False)
+    h.fill.retire(Instruction(addr=101, op=Opcode.NOP))
+    h.fill.retire(Instruction(addr=102, op=Opcode.NOP))
+    h.addr = 103
+    h.block(2)
+    segments = h.flush()
+    segment = segments[0]
+    assert len(segment) == 6
+    assert segment.num_dynamic_branches == 1
+    assert len(segment.promoted_branches) == 1
+
+
+def test_promoted_branches_do_not_consume_branch_budget():
+    h = Harness(promote=True, threshold=2)
+    _promote(h, 100, times=3)
+    # Three dynamic branches plus the promoted one in a single segment.
+    h.fill.retire(Instruction(addr=98, op=Opcode.BNE, rs1=1, rs2=0, target=99), taken=False)
+    h.fill.retire(Instruction(addr=99, op=Opcode.BNE, rs1=1, rs2=0, target=100), taken=False)
+    h.fill.retire(Instruction(addr=100, op=Opcode.BNE, rs1=1, rs2=0, target=101),
+                  taken=False)  # promoted
+    h.fill.retire(Instruction(addr=101, op=Opcode.BNE, rs1=1, rs2=0, target=102), taken=False)
+    h.fill.retire(Instruction(addr=102, op=Opcode.RET))
+    segments = h.flush()
+    assert len(segments) == 1
+    segment = segments[0]
+    assert len(segment) == 5
+    assert segment.num_dynamic_branches == 3
+    assert len(segment.promoted_branches) == 1
+
+
+def test_faulting_outcome_is_not_embedded_as_promoted():
+    """A retired outcome against the promoted direction must not be
+    embedded with the (contradictory) static prediction."""
+    h = Harness(promote=True, threshold=2)
+    _promote(h, 100, times=4)
+    # Retire the branch once in the opposite (faulting) direction.
+    h.fill.retire(Instruction(addr=100, op=Opcode.BNE, rs1=1, rs2=0, target=110),
+                  taken=True)
+    h.fill.retire(Instruction(addr=110, op=Opcode.RET))
+    segments = h.flush()
+    branch = segments[0].branches[0]
+    assert branch.direction is True
+    assert not branch.promoted  # embedded as a normal dynamic branch
+
+
+def test_retiring_branch_without_outcome_rejected():
+    h = Harness()
+    with pytest.raises(ValueError):
+        h.fill.retire(Instruction(addr=0, op=Opcode.BNE, rs1=1, rs2=0, target=5))
+
+
+def test_finalize_reason_counter():
+    h = Harness()
+    h.block(8)
+    h.block(8)
+    h.flush()
+    assert h.fill.finalize_reasons[FinalizeReason.MAX_SIZE] == 1
+    assert h.fill.segments_built >= 1
+
+
+def test_segments_are_written_to_the_cache():
+    h = Harness()
+    h.block(5)
+    h.ret()
+    h.flush()
+    assert h.cache.probe(0) is not None
+
+
+# --- chunk-policy and boundary edge cases -------------------------------------
+
+def test_chunk2_respects_branch_budget_when_splitting():
+    """With 3 pending branches, the split must exclude the incoming
+    block's branch AND stay on an even offset."""
+    h = Harness(policy=PackingPolicy.CHUNK2)
+    h.block(3)
+    h.block(3)
+    h.block(3)      # 9 instructions, 3 branches
+    h.block(6)      # 5 non-branch + branch; budget allows 5, granule -> 4
+    segments = h.flush()
+    first = segments[0]
+    assert first.num_dynamic_branches == 3
+    assert len(first) == 13  # 9 + 4 (even split, branch excluded)
+    assert first.finalize_reason is FinalizeReason.MAX_BRANCHES
+
+
+def test_single_instruction_blocks():
+    h = Harness()
+    for _ in range(5):
+        h.block(1)  # lone branches
+    segments = h.flush()
+    assert segments[0].num_dynamic_branches == 3
+    assert len(segments[0]) == 3
+
+
+def test_seg_ender_on_a_full_segment():
+    h = Harness(policy=PackingPolicy.UNREGULATED)
+    h.straightline(15)
+    h.ret()
+    segments = h.flush()
+    assert len(segments[0]) == 16
+    assert segments[0].finalize_reason is FinalizeReason.SEG_ENDER
+
+
+def test_flush_with_empty_state_is_noop():
+    h = Harness()
+    h.flush()
+    assert h.segments == []
+    h.fill.flush()
+    assert h.segments == []
+
+
+def test_note_recovery_cuts_pending():
+    h = Harness()
+    h.block(5)
+    h.fill.note_recovery()
+    segments = h.segments
+    assert len(segments) == 1
+    assert segments[0].finalize_reason is FinalizeReason.RECOVERY
+    # Filling continues cleanly afterwards.
+    h.addr = segments[0].next_addr
+    h.block(4)
+    h.ret()
+    h.flush()
+    assert len(h.segments) == 2
+
+
+def test_note_recovery_with_partial_block():
+    """A recovery mid-block finalizes both the buffered fragment and the
+    pending segment."""
+    h = Harness()
+    h.block(4)
+    h.straightline(3)  # un-terminated block in the buffer
+    h.fill.note_recovery()
+    assert len(h.segments) == 1
+    assert len(h.segments[0]) == 7
+
+
+def test_note_recovery_when_idle_is_noop():
+    h = Harness()
+    h.fill.note_recovery()
+    assert h.segments == []
+
+
+def test_cost_regulated_empty_pending_always_packs():
+    h = Harness(policy=PackingPolicy.COST_REGULATED)
+    h.straightline(20)  # 16-cap fragment + remainder, no pending at start
+    segments = h.flush()
+    assert len(segments[0]) == 16

@@ -1,0 +1,140 @@
+"""Oracle-driven front-end simulator: matching, recovery, accounting."""
+
+import pytest
+
+from repro import config as cfg
+from repro.frontend.simulator import FrontEndSimulator, compute_oracle
+from repro.frontend.stats import CycleCategory, FetchReason
+from repro.isa import assemble
+from repro.workloads import generate_program
+
+
+def run(program, config, n=20_000, oracle=None):
+    return FrontEndSimulator(program, config, oracle=oracle, max_instructions=n).run()
+
+
+def test_oracle_matches_functional_execution(loop_program):
+    oracle = compute_oracle(loop_program, None)
+    # 20 iterations of an 8-inst loop + prologue + trap/halt + calls
+    assert oracle[-1][0].op.mnemonic == "HALT"
+    addrs = [entry[0].addr for entry in oracle[:3]]
+    assert addrs[0] == loop_program.entry
+
+
+def test_all_retired_instructions_accounted(loop_program):
+    result = run(loop_program, cfg.BASELINE)
+    oracle_len = len(compute_oracle(loop_program, 20_000))
+    assert result.instructions_retired == oracle_len
+    assert result.stats.fetches > 0
+
+
+def test_efr_bounded_by_fetch_width(branchy_program):
+    result = run(branchy_program, cfg.BASELINE)
+    assert 1.0 <= result.effective_fetch_rate <= 16.0
+
+
+def test_icache_efr_bounded_by_block_size(branchy_program):
+    result = run(branchy_program, cfg.ICACHE)
+    # One block per cycle: EFR can never exceed the longest block.
+    assert result.effective_fetch_rate <= 16.0
+    assert result.stats.tc_fetches == 0
+
+
+def test_trace_cache_warms_up():
+    program = generate_program("compress")
+    result = run(program, cfg.BASELINE, n=40_000)
+    assert result.tc_hits > result.tc_misses  # mostly hits once warm
+
+
+def test_baseline_beats_icache_on_efr():
+    program = generate_program("compress")
+    oracle = compute_oracle(program, 40_000)
+    icache = run(program, cfg.ICACHE, oracle=oracle)
+    baseline = run(program, cfg.BASELINE, oracle=oracle)
+    assert baseline.effective_fetch_rate > 1.2 * icache.effective_fetch_rate
+
+
+def test_promotion_reduces_predictions_needed():
+    program = generate_program("m88ksim")
+    oracle = compute_oracle(program, 60_000)
+    base = run(program, cfg.BASELINE, oracle=oracle)
+    promo = run(program, cfg.PROMOTION, oracle=oracle)
+    assert promo.promotions > 0
+    base_buckets = base.stats.predictions_buckets()
+    promo_buckets = promo.stats.predictions_buckets()
+    assert promo_buckets["0 or 1"] > base_buckets["0 or 1"]
+
+
+def test_promotion_produces_faults_on_flaky_benchmark():
+    program = generate_program("plot")
+    result = run(program, cfg.PROMOTION, n=60_000)
+    assert result.stats.promoted_faults > 0
+    assert result.demotions > 0
+
+
+def test_packing_inflates_tc_misses():
+    """Packing's redundancy costs show up as extra trace-cache misses
+    (segments start at arbitrary alignments), not as extra writes."""
+    program = generate_program("compress")
+    oracle = compute_oracle(program, 40_000)
+    base = run(program, cfg.BASELINE, oracle=oracle)
+    pack = run(program, cfg.PACKING, oracle=oracle)
+    assert pack.tc_misses > base.tc_misses
+
+
+def test_mispredicts_are_counted(branchy_program):
+    result = run(branchy_program, cfg.BASELINE)
+    # The flags pattern has a 1-in-8 not-taken; some mispredicts are certain
+    # during warmup.
+    assert result.stats.cond_mispredicts > 0
+    assert result.recoveries > 0
+
+
+def test_cycle_accounting_covers_all_cycles():
+    program = generate_program("compress")
+    result = run(program, cfg.BASELINE, n=30_000)
+    accounted = sum(result.stats.cycle_accounting.values())
+    assert accounted == result.cycles
+
+
+def test_fetch_histogram_consistency():
+    program = generate_program("compress")
+    result = run(program, cfg.BASELINE, n=30_000)
+    stats = result.stats
+    assert sum(stats.size_histogram().values()) == stats.fetches
+    assert sum(stats.reason_breakdown().values()) == stats.fetches
+    assert sum(n * c for (n, _), c in stats.size_reason_histogram.items()) == \
+        stats.useful_instructions
+
+
+def test_mispredicted_fetches_categorized(branchy_program):
+    result = run(branchy_program, cfg.BASELINE)
+    reasons = result.stats.reason_breakdown()
+    assert reasons.get(FetchReason.MISPRED_BR, 0) > 0
+
+
+def test_trap_serialization_costs_cycles(loop_program):
+    result = run(loop_program, cfg.BASELINE)
+    assert result.stats.cycle_accounting[CycleCategory.TRAPS] > 0
+
+
+def test_indirect_jumps_tracked(switch_program):
+    result = run(switch_program, cfg.BASELINE)
+    assert result.stats.indirect_jumps > 0
+
+
+def test_deterministic_results():
+    program = generate_program("compress")
+    oracle = compute_oracle(program, 20_000)
+    a = run(program, cfg.BASELINE, oracle=oracle)
+    b = run(program, cfg.BASELINE, oracle=oracle)
+    assert a.cycles == b.cycles
+    assert a.stats.cond_mispredicts == b.stats.cond_mispredicts
+
+
+def test_split_predictor_config_runs():
+    from dataclasses import replace
+    program = generate_program("compress")
+    config = replace(cfg.PROMOTION, predictor="split")
+    result = run(program, config, n=20_000)
+    assert result.instructions_retired == 20_000

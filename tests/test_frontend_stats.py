@@ -1,0 +1,83 @@
+"""FetchStats bookkeeping: histograms, buckets, derived rates."""
+
+import pytest
+
+from repro.frontend.stats import CycleCategory, FetchReason, FetchRecord, FetchStats
+
+
+def record(stats, size, reason=FetchReason.MAX_SIZE, predictions=1, source="tc"):
+    stats.record_fetch(FetchRecord(size=size, reason=reason,
+                                   predictions=predictions, source=source))
+
+
+def test_effective_fetch_rate():
+    stats = FetchStats()
+    record(stats, 10)
+    record(stats, 6)
+    assert stats.effective_fetch_rate == pytest.approx(8.0)
+    assert stats.useful_instructions == 16
+    assert stats.fetches == 2
+
+
+def test_empty_stats_are_zero():
+    stats = FetchStats()
+    assert stats.effective_fetch_rate == 0.0
+    assert stats.cond_mispredict_rate == 0.0
+    assert stats.predictions_buckets() == {"0 or 1": 0.0, "2": 0.0, "3": 0.0}
+
+
+def test_source_split():
+    stats = FetchStats()
+    record(stats, 10, source="tc")
+    record(stats, 5, source="icache")
+    assert stats.tc_fetches == 1 and stats.icache_fetches == 1
+
+
+def test_size_histogram_marginalizes_reasons():
+    stats = FetchStats()
+    record(stats, 10, reason=FetchReason.MAX_SIZE)
+    record(stats, 10, reason=FetchReason.MISPRED_BR)
+    record(stats, 4, reason=FetchReason.ICACHE)
+    assert stats.size_histogram() == {10: 2, 4: 1}
+    assert stats.reason_breakdown()[FetchReason.MAX_SIZE] == 1
+
+
+def test_prediction_buckets():
+    stats = FetchStats()
+    for predictions in (0, 1, 1, 2, 3, 3, 3, 3):
+        record(stats, 8, predictions=predictions)
+    buckets = stats.predictions_buckets()
+    assert buckets["0 or 1"] == pytest.approx(3 / 8)
+    assert buckets["2"] == pytest.approx(1 / 8)
+    assert buckets["3"] == pytest.approx(4 / 8)
+    assert sum(buckets.values()) == pytest.approx(1.0)
+
+
+def test_mispredict_rate_includes_faults():
+    stats = FetchStats()
+    stats.cond_branches = 90
+    stats.promoted_branches = 10
+    stats.cond_mispredicts = 8
+    stats.promoted_faults = 2
+    assert stats.total_cond_mispredicts == 10
+    assert stats.cond_mispredict_rate == pytest.approx(0.10)
+
+
+def test_total_mispredicted_includes_indirect():
+    stats = FetchStats()
+    stats.cond_mispredicts = 5
+    stats.promoted_faults = 2
+    stats.indirect_mispredicts = 3
+    assert stats.total_mispredicted_branches == 10
+
+
+def test_cycle_categories_cover_figure12():
+    labels = {category.value for category in CycleCategory}
+    assert labels == {"Useful Fetch", "Branch Misses", "Cache Misses",
+                      "Full Window", "Traps", "Misfetches"}
+
+
+def test_fetch_reasons_cover_figure4():
+    labels = {reason.value for reason in FetchReason}
+    assert labels == {"PartialMatch", "AtomicBlocks", "Icache", "MispredBR",
+                      "MaxSize", "Ret, Indir, Trap", "MaximumBRs"}

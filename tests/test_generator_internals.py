@@ -1,0 +1,101 @@
+"""Generator internals: context arrays, register discipline, structure."""
+
+import numpy as np
+import pytest
+
+from repro.isa import FunctionalExecutor
+from repro.isa.opcodes import Opcode
+from repro.workloads import generate_program
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def generator():
+    gen = WorkloadGenerator(get_profile("compress"))
+    gen.generate()
+    return gen
+
+
+def test_every_phase_has_a_context_array(generator):
+    assert generator._ctx_counter >= get_profile("compress").n_phases
+
+
+def test_context_arrays_hold_small_values():
+    gen = WorkloadGenerator(get_profile("compress"))
+    label, period = gen._new_context_array()
+    base = gen.data.symbols[label]
+    values = [gen.data.image.get(base + i, 0) for i in range(period)]
+    assert all(0 <= v <= 7 for v in values)
+    # Slowly varying: consecutive values differ rarely.
+    changes = sum(1 for a, b in zip(values, values[1:]) if a != b)
+    assert changes < period * 0.5
+
+
+def test_program_structure_labels():
+    program = generate_program("compress")
+    profile = get_profile("compress")
+    for i in range(profile.n_phases):
+        assert f"phase_{i}" in program.symbols
+    assert "main" in program.symbols
+    assert any(name.startswith("util_") for name in program.symbols)
+
+
+def test_phase_functions_save_the_link_register():
+    """Non-leaf functions must spill r31 or nested calls would corrupt it."""
+    program = generate_program("compress")
+    phase_addr = program.symbols["phase_0"]
+    prologue = program.instructions[phase_addr:phase_addr + 2]
+    assert prologue[0].op is Opcode.ADDI and prologue[0].rd == 30
+    assert prologue[1].op is Opcode.ST and prologue[1].rs2 == 31
+
+
+def test_stack_pointer_balances():
+    """After any bounded run, SP must sit within the stack region — calls
+    and returns balance."""
+    from repro.isa.executor import STACK_BASE
+    program = generate_program("li")
+    executor = FunctionalExecutor(program, max_instructions=30_000)
+    executor.run_to_completion()
+    sp = executor.state.regs[30]
+    assert STACK_BASE - 64 <= sp <= STACK_BASE
+
+
+def test_jump_tables_target_valid_code():
+    program = generate_program("perl")
+    limit = len(program)
+    for name, base in program.data_symbols.items():
+        if not name.startswith("jt_"):
+            continue
+        offset = 0
+        while (base + offset) in program.data and name.startswith("jt_"):
+            target = program.data[base + offset]
+            if offset == 0 or target:  # table entries are code addresses
+                assert 0 <= target < limit
+            offset += 1
+            if offset > 16:
+                break
+
+
+def test_bias_arrays_are_binary():
+    program = generate_program("compress")
+    for name, base in program.data_symbols.items():
+        if not name.startswith("bias_"):
+            continue
+        for offset in range(8):
+            value = program.data.get(base + offset, 0)
+            assert value in (0, 1)
+
+
+def test_distinct_seeds_change_site_count():
+    a = WorkloadGenerator(get_profile("compress"), seed=1)
+    b = WorkloadGenerator(get_profile("compress"), seed=2)
+    a.generate(); b.generate()
+    assert (a._site_counter, len(a.code)) != (b._site_counter, len(b.code))
+
+
+def test_working_set_validation():
+    from dataclasses import replace
+    bad = replace(get_profile("compress"), working_set_words=1000)  # not 2^n
+    with pytest.raises(ValueError):
+        WorkloadGenerator(bad)

@@ -1,0 +1,121 @@
+"""Instruction record: dataflow queries, validation, disassembly."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, NUM_REGS, REG_LINK
+from repro.isa.opcodes import Opcode
+
+
+def inst(op, **kwargs):
+    return Instruction(addr=kwargs.pop("addr", 0), op=op, **kwargs)
+
+
+def test_reg3_dataflow():
+    i = inst(Opcode.ADD, rd=3, rs1=1, rs2=2)
+    assert i.src_regs() == (1, 2)
+    assert i.dest_reg() == 3
+
+
+def test_zero_register_excluded_from_sources():
+    i = inst(Opcode.ADD, rd=3, rs1=0, rs2=2)
+    assert i.src_regs() == (2,)
+
+
+def test_write_to_r0_is_discarded():
+    i = inst(Opcode.ADD, rd=0, rs1=1, rs2=2)
+    assert i.dest_reg() is None
+
+
+def test_imm_dataflow():
+    i = inst(Opcode.ADDI, rd=4, rs1=7, imm=10)
+    assert i.src_regs() == (7,)
+    assert i.dest_reg() == 4
+
+
+def test_load_dataflow():
+    i = inst(Opcode.LD, rd=5, rs1=6, imm=8)
+    assert i.src_regs() == (6,)
+    assert i.dest_reg() == 5
+
+
+def test_store_reads_base_and_data():
+    i = inst(Opcode.ST, rs1=6, rs2=7, imm=8)
+    assert set(i.src_regs()) == {6, 7}
+    assert i.dest_reg() is None
+
+
+def test_branch_reads_both_operands():
+    i = inst(Opcode.BNE, rs1=1, rs2=2, target=10)
+    assert i.src_regs() == (1, 2)
+    assert i.dest_reg() is None
+
+
+def test_call_writes_link_register():
+    i = inst(Opcode.CALL, target=50)
+    assert i.dest_reg() == REG_LINK
+    assert i.src_regs() == ()
+
+
+def test_ret_reads_link_register():
+    i = inst(Opcode.RET)
+    assert i.src_regs() == (REG_LINK,)
+
+
+def test_jr_reads_its_register():
+    i = inst(Opcode.JR, rs1=9)
+    assert i.src_regs() == (9,)
+
+
+def test_lui_has_no_sources():
+    i = inst(Opcode.LUI, rd=2, imm=5)
+    assert i.src_regs() == ()
+    assert i.dest_reg() == 2
+
+
+def test_fall_through():
+    i = inst(Opcode.NOP, addr=41)
+    assert i.fall_through == 42
+
+
+def test_register_range_validated():
+    with pytest.raises(ValueError):
+        Instruction(addr=0, op=Opcode.ADD, rd=NUM_REGS, rs1=0, rs2=0)
+    with pytest.raises(ValueError):
+        Instruction(addr=0, op=Opcode.ADD, rd=1, rs1=-1, rs2=0)
+
+
+def test_direct_control_requires_target():
+    with pytest.raises(ValueError):
+        Instruction(addr=0, op=Opcode.BEQ, rs1=1, rs2=2)
+    with pytest.raises(ValueError):
+        Instruction(addr=0, op=Opcode.JMP)
+
+
+def test_indirect_control_needs_no_target():
+    Instruction(addr=0, op=Opcode.JR, rs1=1)
+    Instruction(addr=0, op=Opcode.RET)
+
+
+def test_instruction_is_immutable():
+    i = inst(Opcode.ADD, rd=1, rs1=2, rs2=3)
+    with pytest.raises(Exception):
+        i.rd = 5
+
+
+@pytest.mark.parametrize("op,kwargs,text", [
+    (Opcode.ADD, dict(rd=1, rs1=2, rs2=3), "ADD r1, r2, r3"),
+    (Opcode.ADDI, dict(rd=1, rs1=2, imm=-4), "ADDI r1, r2, -4"),
+    (Opcode.LD, dict(rd=1, rs1=2, imm=8), "LD r1, 8(r2)"),
+    (Opcode.ST, dict(rs1=2, rs2=1, imm=8), "ST r1, 8(r2)"),
+    (Opcode.BNE, dict(rs1=1, rs2=0, target=7), "BNE r1, r0, 7"),
+    (Opcode.JMP, dict(target=9), "JMP 9"),
+    (Opcode.JR, dict(rs1=3), "JR r3"),
+    (Opcode.RET, dict(), "RET"),
+    (Opcode.HALT, dict(), "HALT"),
+])
+def test_disassembly(op, kwargs, text):
+    assert inst(op, **kwargs).disassemble() == text
+
+
+def test_str_includes_address():
+    assert str(inst(Opcode.NOP, addr=12)).startswith("    12:")

@@ -1,0 +1,129 @@
+"""End-to-end invariants across front ends, core models and benchmarks."""
+
+import pytest
+
+from repro import (
+    BASELINE,
+    ICACHE,
+    PROMOTION,
+    PROMOTION_COST_REG,
+    PROMOTION_PACKING,
+    MachineConfig,
+    CoreConfig,
+    simulate_frontend,
+    simulate_machine,
+)
+from repro.frontend.simulator import compute_oracle, FrontEndSimulator
+from repro.isa import FunctionalExecutor
+from repro.workloads import generate_program
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: generate_program(name) for name in ("compress", "m88ksim", "plot")}
+
+
+@pytest.fixture(scope="module")
+def oracles(programs):
+    return {name: compute_oracle(program, 100_000) for name, program in programs.items()}
+
+
+def frontend(programs, oracles, name, config):
+    return FrontEndSimulator(programs[name], config, oracle=oracles[name]).run()
+
+
+@pytest.mark.parametrize("bench", ["compress", "m88ksim", "plot"])
+def test_trace_cache_lifts_fetch_rate(programs, oracles, bench):
+    """The trace cache's raison d'etre: EFR well above one fetch block."""
+    icache = frontend(programs, oracles, bench, ICACHE)
+    baseline = frontend(programs, oracles, bench, BASELINE)
+    assert baseline.effective_fetch_rate > 1.25 * icache.effective_fetch_rate
+
+
+@pytest.mark.parametrize("bench", ["compress", "m88ksim"])
+def test_both_techniques_beat_baseline(programs, oracles, bench):
+    """The headline claim: promotion + packing lifts the fetch rate."""
+    baseline = frontend(programs, oracles, bench, BASELINE)
+    both = frontend(programs, oracles, bench, PROMOTION_PACKING)
+    assert both.effective_fetch_rate > 1.03 * baseline.effective_fetch_rate
+
+
+def test_promotion_shifts_prediction_demand(programs, oracles):
+    base = frontend(programs, oracles, "m88ksim", BASELINE)
+    promo = frontend(programs, oracles, "m88ksim", PROMOTION)
+    assert promo.stats.predictions_buckets()["0 or 1"] > \
+        base.stats.predictions_buckets()["0 or 1"] + 0.1
+
+
+def test_flaky_benchmark_faults_more_at_low_threshold(programs, oracles):
+    """plot's nearly-biased branches promote prematurely at threshold 64
+    but mostly escape promotion at 256 (the paper's Figure 7 story)."""
+    from repro import promotion_with_threshold
+    low = frontend(programs, oracles, "plot", promotion_with_threshold(64))
+    high = frontend(programs, oracles, "plot", promotion_with_threshold(256))
+    assert low.stats.promoted_faults > high.stats.promoted_faults
+
+
+def test_frontend_and_machine_agree_on_retirement(programs):
+    program = programs["compress"]
+    n = 10_000
+    front = FrontEndSimulator(program, BASELINE, max_instructions=n).run()
+    machine = simulate_machine(program, MachineConfig(frontend=BASELINE),
+                               max_instructions=n)
+    assert front.instructions_retired == machine.retired == n
+
+
+def test_machine_stack_is_consistent(programs):
+    """After any run, the speculative call stack can't be corrupted:
+    architectural SP must match the functional run's."""
+    from repro.core.machine import Machine
+    from repro.isa.instruction import REG_SP
+    program = programs["m88ksim"]
+    n = 10_000
+    reference = FunctionalExecutor(program, max_instructions=n)
+    reference.run_to_completion()
+    machine = Machine(program, MachineConfig(frontend=PROMOTION_COST_REG),
+                      max_instructions=n)
+    machine.run()
+    assert machine.arch_regs[REG_SP] == reference.state.regs[REG_SP]
+
+
+def test_perfect_core_improves_promotion_more(programs):
+    """Figure 16's qualitative story: the aggressive core lets the better
+    front end stretch its legs (new config gains at least as much from
+    perfect disambiguation as the baseline does)."""
+    program = programs["m88ksim"]
+    n = 20_000
+    results = {}
+    for label, fe in (("base", BASELINE), ("new", PROMOTION_COST_REG)):
+        for perfect in (False, True):
+            config = MachineConfig(frontend=fe,
+                                   core=CoreConfig(perfect_disambiguation=perfect))
+            results[(label, perfect)] = simulate_machine(program, config,
+                                                         max_instructions=n).ipc
+    gain_base = results[("base", True)] / results[("base", False)]
+    gain_new = results[("new", True)] / results[("new", False)]
+    assert gain_new > 0.95 * gain_base  # at least comparable
+
+
+def test_all_fifteen_benchmarks_run_the_frontend():
+    """Smoke coverage: every profile generates and simulates cleanly."""
+    from repro.workloads.profiles import BENCHMARK_NAMES
+    for name in BENCHMARK_NAMES:
+        program = generate_program(name)
+        result = simulate_frontend(program, BASELINE, max_instructions=4_000)
+        assert result.instructions_retired == 4_000
+
+
+def test_drivers_agree_on_the_retired_branch_population(programs):
+    """The front-end simulator and the machine retire the same correct
+    path, so their branch counts must match exactly."""
+    program = programs["compress"]
+    n = 12_000
+    front = FrontEndSimulator(program, BASELINE, max_instructions=n).run()
+    machine_run = simulate_machine(program, MachineConfig(frontend=BASELINE),
+                                   max_instructions=n)
+    front_branches = front.stats.cond_branches + front.stats.promoted_branches
+    machine_branches = machine_run.cond_branches + machine_run.promoted_branches
+    assert front_branches == machine_branches
+    assert front.stats.indirect_jumps == machine_run.indirect_jumps

@@ -1,0 +1,214 @@
+"""The out-of-order machine: architectural correctness and timing behaviour."""
+
+import pytest
+
+from repro import config as cfg
+from repro.config import CoreConfig, MachineConfig
+from repro.core.machine import Machine, simulate
+from repro.frontend.stats import CycleCategory
+from repro.isa import FunctionalExecutor, assemble
+from repro.workloads import generate_program
+
+
+def machine_config(frontend=cfg.BASELINE, perfect=False, **core_kwargs):
+    return MachineConfig(frontend=frontend,
+                         core=CoreConfig(perfect_disambiguation=perfect, **core_kwargs))
+
+
+@pytest.fixture(scope="module")
+def compress():
+    return generate_program("compress")
+
+
+# --- architectural correctness ---------------------------------------------
+
+@pytest.mark.parametrize("frontend", [cfg.ICACHE, cfg.BASELINE, cfg.PROMOTION,
+                                      cfg.PROMOTION_COST_REG, cfg.PROMOTION_PACKING])
+def test_machine_matches_functional_execution(compress, frontend):
+    """Whatever the front end speculates, retired state must equal an
+    in-order functional run — the strongest whole-machine invariant."""
+    n = 8_000
+    reference = FunctionalExecutor(compress, max_instructions=n)
+    reference.run_to_completion()
+    machine = Machine(compress, machine_config(frontend), max_instructions=n)
+    result = machine.run()
+    assert result.retired == n
+    assert machine.arch_regs == reference.state.regs
+
+
+def test_perfect_disambiguation_is_also_correct(compress):
+    n = 8_000
+    reference = FunctionalExecutor(compress, max_instructions=n)
+    reference.run_to_completion()
+    machine = Machine(compress, machine_config(perfect=True), max_instructions=n)
+    machine.run()
+    assert machine.arch_regs == reference.state.regs
+
+
+def test_committed_memory_matches(loop_program):
+    reference = FunctionalExecutor(loop_program)
+    reference.run_to_completion()
+    machine = Machine(loop_program, machine_config(), max_instructions=None)
+    machine.run()
+    arr = loop_program.data_symbols["arr"]
+    assert machine.memory_image[arr + 2] == reference.state.memory[arr + 2]
+
+
+def test_halt_stops_the_machine(loop_program):
+    result = simulate(loop_program, machine_config(), max_instructions=None)
+    reference = FunctionalExecutor(loop_program)
+    assert result.retired == reference.run_to_completion()
+
+
+# --- timing behaviour -------------------------------------------------------
+
+def test_ipc_is_superscalar(compress):
+    result = simulate(compress, machine_config(), max_instructions=20_000)
+    assert result.ipc > 1.0  # 16-wide machine must beat scalar
+
+
+def test_ipc_bounded_by_width(compress):
+    result = simulate(compress, machine_config(), max_instructions=20_000)
+    assert result.ipc <= 16.0
+
+
+def test_cycle_accounting_sums_to_cycles(compress):
+    result = simulate(compress, machine_config(), max_instructions=15_000)
+    accounted = sum(result.cycle_accounting.values())
+    # The final partial cycle may be unaccounted; allow tiny slack.
+    assert abs(accounted - result.cycles) <= 2
+
+
+def test_perfect_memory_never_slower(compress):
+    conservative = simulate(compress, machine_config(), max_instructions=15_000)
+    perfect = simulate(compress, machine_config(perfect=True), max_instructions=15_000)
+    assert perfect.cycles <= conservative.cycles * 1.02
+
+
+def test_conservative_core_stalls_on_full_window(compress):
+    result = simulate(compress, machine_config(), max_instructions=15_000)
+    perfect = simulate(compress, machine_config(perfect=True), max_instructions=15_000)
+    assert result.cycle_accounting[CycleCategory.FULL_WINDOW] >= \
+        perfect.cycle_accounting[CycleCategory.FULL_WINDOW]
+
+
+def test_resolution_time_positive(compress):
+    result = simulate(compress, machine_config(), max_instructions=15_000)
+    assert result.resolution_count > 0
+    assert result.avg_resolution_time >= 2.0
+
+
+def test_branch_stats_collected(compress):
+    result = simulate(compress, machine_config(), max_instructions=15_000)
+    assert result.cond_branches > 500
+    assert result.cond_mispredicts > 0
+    assert result.fetches > 0
+
+
+def test_promotion_config_promotes_and_faults():
+    program = generate_program("plot")
+    result = simulate(program, machine_config(cfg.PROMOTION_COST_REG),
+                      max_instructions=40_000)
+    assert result.promotions > 0
+    assert result.promoted_branches > 0
+
+
+def test_traps_serialize(loop_program):
+    result = simulate(loop_program, machine_config(), max_instructions=None)
+    assert result.cycle_accounting[CycleCategory.TRAPS] > 0
+
+
+def test_store_load_forwarding():
+    """A load immediately after a same-address store must forward."""
+    source = """
+        .data
+buf:    .space 8
+        .text
+main:   ADDI r10, r0, 200
+loop:   ADDI r2, r2, 3
+        ST r2, 0(r1)
+        LD r3, 0(r1)
+        ADD r4, r4, r3
+        ADDI r10, r10, -1
+        BNE r10, r0, loop
+        HALT
+"""
+    program = assemble(source)
+    result = simulate(program, machine_config(perfect=True), max_instructions=None)
+    assert result.load_forwards > 50
+    # And the forwarded values are architecturally right.
+    reference = FunctionalExecutor(program)
+    reference.run_to_completion()
+    machine = Machine(program, machine_config(perfect=True), max_instructions=None)
+    machine.run()
+    assert machine.arch_regs[4] == reference.state.regs[4]
+
+
+def test_conservative_blocks_loads_behind_unknown_stores():
+    """A store with a late-resolving address delays younger loads in the
+    conservative core but not with perfect disambiguation."""
+    source = """
+        .data
+buf:    .space 64
+ptr:    .words 7
+        .text
+main:   ADDI r10, r0, 300
+loop:   LD r2, ptr(r0)
+        MUL r2, r2, r2
+        ANDI r2, r2, 31
+        ST r5, buf(r2)
+        LD r6, 40(r0)
+        ADD r7, r7, r6
+        ADDI r10, r10, -1
+        BNE r10, r0, loop
+        HALT
+"""
+    program = assemble(source)
+    conservative = simulate(program, machine_config(), max_instructions=None)
+    perfect = simulate(program, machine_config(perfect=True), max_instructions=None)
+    assert perfect.cycles < conservative.cycles
+
+
+def test_wrong_path_instructions_do_not_retire(branchy_program):
+    result = simulate(branchy_program, machine_config(), max_instructions=None)
+    reference = FunctionalExecutor(branchy_program)
+    assert result.retired == reference.run_to_completion()
+
+
+def test_indirect_jump_machine(switch_program):
+    result = simulate(switch_program, machine_config(), max_instructions=None)
+    reference = FunctionalExecutor(switch_program)
+    assert result.retired == reference.run_to_completion()
+    assert result.indirect_jumps > 0
+
+
+def test_machine_determinism(compress):
+    a = simulate(compress, machine_config(), max_instructions=10_000)
+    b = simulate(compress, machine_config(), max_instructions=10_000)
+    assert (a.cycles, a.cond_mispredicts) == (b.cycles, b.cond_mispredicts)
+
+
+def test_checkpoint_count_bounded(compress):
+    machine = Machine(compress, machine_config(), max_instructions=10_000)
+    limit = machine.config.core.max_checkpoints
+    original_dispatch = machine._dispatch
+
+    def checked_dispatch(width):
+        original_dispatch(width)
+        assert len(machine.checkpoints) <= limit
+
+    machine._dispatch = checked_dispatch
+    machine.run()
+
+
+def test_narrow_machine_is_slower(compress):
+    wide = simulate(compress, machine_config(), max_instructions=10_000)
+    narrow = simulate(
+        compress,
+        MachineConfig(frontend=cfg.BASELINE,
+                      core=CoreConfig(n_fus=2, rs_per_fu=16, issue_width=2,
+                                      retire_width=2)),
+        max_instructions=10_000,
+    )
+    assert narrow.cycles > wide.cycles
+    assert narrow.ipc <= 2.0

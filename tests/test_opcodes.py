@@ -1,0 +1,91 @@
+"""Opcode classification: the rules that drive fetch and fill decisions."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode, OpClass, REG3_OPS, REG_IMM_OPS, BRANCH_OPS
+
+
+ALL_OPS = list(Opcode)
+COND_BRANCHES = [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE]
+CONTROL = COND_BRANCHES + [Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.JR]
+SEG_ENDERS = [Opcode.RET, Opcode.JR, Opcode.TRAP, Opcode.HALT]
+
+
+@pytest.mark.parametrize("op", COND_BRANCHES)
+def test_cond_branches_classified(op):
+    assert op.is_cond_branch
+    assert op.is_control
+    assert op.is_direct_control
+    assert op.ends_fetch_block
+
+
+@pytest.mark.parametrize("op", [Opcode.ADD, Opcode.ADDI, Opcode.LD, Opcode.ST, Opcode.NOP])
+def test_non_control_ops(op):
+    assert not op.is_cond_branch
+    assert not op.is_control
+    assert not op.ends_fetch_block
+
+
+@pytest.mark.parametrize("op", CONTROL)
+def test_control_ends_fetch_block(op):
+    assert op.ends_fetch_block
+
+
+def test_trap_and_halt_end_fetch_blocks_without_being_control():
+    for op in (Opcode.TRAP, Opcode.HALT):
+        assert op.ends_fetch_block
+        assert not op.is_control
+
+
+@pytest.mark.parametrize("op", SEG_ENDERS)
+def test_segment_enders(op):
+    """Returns, indirect jumps, traps and halt finalize trace segments."""
+    assert op.ends_trace_segment
+
+
+@pytest.mark.parametrize("op", [Opcode.BEQ, Opcode.BNE, Opcode.JMP, Opcode.CALL])
+def test_non_segment_enders(op):
+    """Conditional branches, jumps and calls do NOT finalize segments."""
+    assert not op.ends_trace_segment
+
+
+def test_indirect_classification():
+    assert Opcode.JR.is_indirect_control
+    assert Opcode.RET.is_indirect_control
+    assert not Opcode.JR.is_direct_control
+    assert not Opcode.JMP.is_indirect_control
+
+
+def test_memory_classification():
+    assert Opcode.LD.is_load and Opcode.LD.is_mem and not Opcode.LD.is_store
+    assert Opcode.ST.is_store and Opcode.ST.is_mem and not Opcode.ST.is_load
+    assert not Opcode.ADD.is_mem
+
+
+def test_serializing():
+    assert Opcode.TRAP.is_serializing
+    assert not Opcode.CALL.is_serializing
+
+
+def test_call_is_direct_control_but_not_segment_ender():
+    assert Opcode.CALL.is_direct_control
+    assert not Opcode.CALL.ends_trace_segment
+
+
+def test_op_sets_are_disjoint():
+    assert not (REG3_OPS & REG_IMM_OPS)
+    assert not (REG3_OPS & BRANCH_OPS)
+    assert not (REG_IMM_OPS & BRANCH_OPS)
+
+
+def test_every_opcode_has_an_opclass():
+    for op in ALL_OPS:
+        assert isinstance(op.opclass, OpClass)
+        assert op.mnemonic == op.name
+
+
+def test_uncond_control_excludes_cond_branches():
+    for op in COND_BRANCHES:
+        assert not op.is_uncond_control
+    for op in (Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.JR):
+        assert op.is_uncond_control

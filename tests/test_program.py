@@ -1,0 +1,59 @@
+"""Program container: validation, block leaders, listing."""
+
+import pytest
+
+from repro.isa import assemble, Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def test_dense_address_check():
+    good = [Instruction(addr=0, op=Opcode.NOP), Instruction(addr=1, op=Opcode.HALT)]
+    Program(instructions=good)
+    bad = [Instruction(addr=0, op=Opcode.NOP), Instruction(addr=5, op=Opcode.HALT)]
+    with pytest.raises(ValueError, match="dense"):
+        Program(instructions=bad)
+
+
+def test_entry_bounds_check():
+    insts = [Instruction(addr=0, op=Opcode.HALT)]
+    with pytest.raises(ValueError):
+        Program(instructions=insts, entry=3)
+
+
+def test_fetch_in_and_out_of_range(loop_program):
+    assert loop_program.fetch(0) is loop_program.instructions[0]
+    assert loop_program.fetch(len(loop_program)) is None
+    assert loop_program.fetch(-1) is None
+
+
+def test_static_block_starts(branchy_program):
+    leaders = branchy_program.static_block_starts()
+    # Entry, branch targets and fall-throughs are all leaders.
+    assert branchy_program.entry in leaders
+    assert branchy_program.symbols["loop"] in leaders
+    assert branchy_program.symbols["skip"] in leaders
+
+
+def test_validate_targets_rejects_out_of_range():
+    insts = [Instruction(addr=0, op=Opcode.JMP, target=17)]
+    program = Program(instructions=insts)
+    with pytest.raises(ValueError, match="targets"):
+        program.validate_targets()
+
+
+def test_static_cond_branches(branchy_program):
+    branches = branchy_program.static_cond_branches()
+    assert len(branches) == 2  # BEQ skip + BNE loop
+    assert all(b.op.is_cond_branch for b in branches)
+
+
+def test_listing_contains_labels(loop_program):
+    listing = loop_program.listing()
+    assert "main:" in listing and "loop:" in listing
+    assert "HALT" in listing
+
+
+def test_listing_slice(loop_program):
+    listing = loop_program.listing(start=0, count=2)
+    assert listing.count("\n") <= 3

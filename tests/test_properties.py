@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import GlobalHistory, SaturatingCounters
+from repro.isa.executor import step_instruction
+from repro.isa.instruction import NUM_REGS, Instruction
+from repro.isa.opcodes import Opcode
+from repro.mem import SetAssocCache
+from repro.trace.bias_table import BranchBiasTable
+from repro.trace.trace_cache import TraceCache
+from repro.trace.segment import FinalizeReason, TraceSegment
+
+
+# --- saturating counters ----------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=200),
+       st.integers(1, 4))
+def test_counters_stay_in_range(updates, bits):
+    counters = SaturatingCounters(64, bits=bits)
+    for index, taken in updates:
+        counters.update(index, taken)
+        assert 0 <= counters.value(index) <= counters.max_value
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_counter_converges_to_constant_stream(outcomes):
+    """After 2^bits same-direction updates, the prediction matches."""
+    counters = SaturatingCounters(1)
+    direction = outcomes[0]
+    for _ in range(4):
+        counters.update(0, direction)
+    assert counters.predict(0) == direction
+
+
+# --- global history ------------------------------------------------------------
+
+@given(st.lists(st.booleans(), max_size=64), st.integers(1, 24))
+def test_history_equals_low_bits_of_sequence(pushes, bits):
+    ghr = GlobalHistory(bits)
+    value = 0
+    for outcome in pushes:
+        ghr.push(outcome)
+        value = ((value << 1) | int(outcome)) & ghr.mask
+    assert ghr.value == value
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=32))
+def test_history_restore_is_exact(pushes):
+    ghr = GlobalHistory(16)
+    snap = ghr.snapshot()
+    for outcome in pushes:
+        ghr.push(outcome)
+    ghr.restore(snap)
+    assert ghr.value == snap
+
+
+# --- caches ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+def test_cache_repeat_access_always_hits(addresses):
+    cache = SetAssocCache(1024, assoc=2, line_bytes=32)
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.access(addr)  # immediate re-access must hit
+
+
+@given(st.lists(st.integers(0, 1 << 16), max_size=300))
+def test_cache_occupancy_bounded(addresses):
+    cache = SetAssocCache(1024, assoc=2, line_bytes=32)
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.resident_lines() <= cache.n_sets * cache.assoc
+
+
+@given(st.lists(st.integers(0, 1 << 16), max_size=300))
+def test_cache_stats_partition_accesses(addresses):
+    cache = SetAssocCache(512, assoc=4, line_bytes=32)
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+
+# --- bias table ---------------------------------------------------------------
+
+@given(st.lists(st.booleans(), min_size=1, max_size=400))
+def test_bias_count_never_exceeds_run_length(outcomes):
+    table = BranchBiasTable(entries=16, threshold=8)
+    run = 0
+    previous = None
+    for outcome in outcomes:
+        entry = table.update(5, outcome)
+        run = run + 1 if outcome == previous else 1
+        previous = outcome
+        assert entry.count <= max(run, 1)
+        assert entry.direction == outcome
+
+
+@given(st.lists(st.booleans(), min_size=8, max_size=400))
+def test_promotion_implies_a_qualifying_run(outcomes):
+    threshold = 8
+    table = BranchBiasTable(entries=16, threshold=threshold)
+    longest = run = 0
+    previous = None
+    for outcome in outcomes:
+        run = run + 1 if outcome == previous else 1
+        previous = outcome
+        longest = max(longest, run)
+        table.update(5, outcome)
+    if table.is_promoted(5):
+        assert longest >= threshold
+
+
+# --- trace cache ---------------------------------------------------------------
+
+def _segment(start):
+    return TraceSegment(
+        start_addr=start,
+        instructions=[Instruction(addr=start, op=Opcode.NOP)],
+        finalize_reason=FinalizeReason.MAX_SIZE,
+        next_addr=start + 1,
+    )
+
+
+@given(st.lists(st.integers(0, 4000), max_size=300))
+def test_trace_cache_no_duplicate_start_addresses(starts):
+    cache = TraceCache(n_lines=64, assoc=4)
+    for start in starts:
+        cache.insert(_segment(start))
+        # No path associativity: at most one resident segment per start.
+        seen = set()
+        for ways in cache._sets:
+            for segment in ways:
+                assert segment.start_addr not in seen
+                seen.add(segment.start_addr)
+
+
+@given(st.lists(st.integers(0, 4000), max_size=200))
+def test_trace_cache_occupancy_bounded(starts):
+    cache = TraceCache(n_lines=16, assoc=4)
+    for start in starts:
+        cache.insert(_segment(start))
+    assert cache.resident_segments() <= 16
+
+
+# --- executor ---------------------------------------------------------------------
+
+@given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1),
+       st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                        Opcode.XOR, Opcode.MUL]))
+def test_alu_results_stay_in_64_bits(a, b, op):
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = a, b
+    inst = Instruction(addr=0, op=op, rd=3, rs1=1, rs2=2)
+    step_instruction(inst, regs, lambda _a: 0, lambda _a, _v: None)
+    assert 0 <= regs[3] < (1 << 64)
+
+
+@given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+def test_branch_taken_agrees_with_equality(a, b):
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = a, b
+    beq = Instruction(addr=0, op=Opcode.BEQ, rs1=1, rs2=2, target=9)
+    bne = Instruction(addr=0, op=Opcode.BNE, rs1=1, rs2=2, target=9)
+    r_eq = step_instruction(beq, regs, lambda _a: 0, lambda _a, _v: None)
+    r_ne = step_instruction(bne, regs, lambda _a: 0, lambda _a, _v: None)
+    assert r_eq.taken == (a == b)
+    assert r_eq.taken != r_ne.taken
+
+
+@given(st.integers(0, 1 << 20), st.integers(0, (1 << 64) - 1))
+def test_store_then_load_roundtrip(addr, value):
+    regs = [0] * NUM_REGS
+    regs[1], regs[2] = addr, value
+    memory = {}
+    store = Instruction(addr=0, op=Opcode.ST, rs1=1, rs2=2)
+    load = Instruction(addr=1, op=Opcode.LD, rd=3, rs1=1)
+    step_instruction(store, regs, lambda a: memory.get(a, 0),
+                     lambda a, v: memory.__setitem__(a, v))
+    step_instruction(load, regs, lambda a: memory.get(a, 0),
+                     lambda a, v: memory.__setitem__(a, v))
+    assert regs[3] == value
+
+
+# --- fill unit conservation --------------------------------------------------
+
+from repro.isa.executor import FunctionalExecutor
+from repro.trace.bias_table import BranchBiasTable
+from repro.trace.fill_unit import FillUnit, PackingPolicy
+
+
+@given(st.sampled_from(list(PackingPolicy)), st.booleans(),
+       st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_fill_unit_conserves_the_retire_stream(policy, promote, seed_index):
+    """Whatever the policy, the finalized segments concatenate back to
+    exactly the retired instruction stream: nothing lost, duplicated or
+    reordered, and every segment valid (checked at insert)."""
+    from repro.workloads import generate_program
+    program = generate_program(["compress", "li", "plot"][seed_index % 3])
+    cache = TraceCache(n_lines=256, assoc=4)
+    segments = []
+    original_insert = cache.insert
+
+    def recording_insert(segment):
+        segments.append(segment)
+        original_insert(segment)
+
+    cache.insert = recording_insert
+    bias = BranchBiasTable(entries=128, threshold=8) if promote else None
+    fill = FillUnit(cache, bias_table=bias, policy=policy, promote=promote)
+
+    retired = []
+    executor = FunctionalExecutor(program, max_instructions=1500)
+    for dyn in executor.run():
+        retired.append(dyn.inst.addr)
+        fill.retire(dyn.inst, dyn.result.taken)
+    fill.flush()
+
+    rebuilt = [inst.addr for segment in segments for inst in segment.instructions]
+    assert rebuilt == retired
+
+
+# --- assembler round trip ------------------------------------------------------
+
+_reg = st.integers(0, 31)
+
+
+@st.composite
+def _random_instruction(draw, addr, code_size):
+    op = draw(st.sampled_from(list(Opcode)))
+    target = draw(st.integers(0, code_size - 1))
+    imm = draw(st.integers(-4096, 4096))
+    from repro.isa.opcodes import BRANCH_OPS, REG3_OPS, REG_IMM_OPS
+    if op in REG3_OPS:
+        return Instruction(addr, op, rd=draw(_reg), rs1=draw(_reg), rs2=draw(_reg))
+    if op in REG_IMM_OPS:
+        return Instruction(addr, op, rd=draw(_reg), rs1=draw(_reg), imm=imm)
+    if op is Opcode.LUI:
+        return Instruction(addr, op, rd=draw(_reg), imm=imm)
+    if op is Opcode.LD:
+        return Instruction(addr, op, rd=draw(_reg), rs1=draw(_reg), imm=imm)
+    if op is Opcode.ST:
+        return Instruction(addr, op, rs1=draw(_reg), rs2=draw(_reg), imm=imm)
+    if op in BRANCH_OPS:
+        return Instruction(addr, op, rs1=draw(_reg), rs2=draw(_reg), target=target)
+    if op in (Opcode.JMP, Opcode.CALL):
+        return Instruction(addr, op, target=target)
+    if op is Opcode.JR:
+        return Instruction(addr, op, rs1=draw(_reg))
+    return Instruction(addr, op)
+
+
+@st.composite
+def _random_program(draw):
+    size = draw(st.integers(1, 24))
+    return [draw(_random_instruction(addr, size)) for addr in range(size)]
+
+
+@given(_random_program())
+@settings(max_examples=50, deadline=None)
+def test_assembler_round_trips_any_instruction_stream(instructions):
+    """disassemble -> assemble reproduces every instruction exactly."""
+    from repro.isa import assemble
+    source = "\n".join(inst.disassemble() for inst in instructions)
+    program = assemble(source)
+    assert len(program) == len(instructions)
+    for original, parsed in zip(instructions, program.instructions):
+        assert parsed.op is original.op
+        assert parsed.disassemble() == original.disassemble()

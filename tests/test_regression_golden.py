@@ -1,0 +1,68 @@
+"""Golden-value regression tests.
+
+Every simulation in this repository is deterministic (seeded workloads,
+no wall-clock or unseeded randomness), so exact values are stable across
+runs and act as a tripwire for unintended behavioural changes.  If a test
+here fails after an *intentional* model change, re-baseline the constants
+and note the change in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import BASELINE, PROMOTION, FrontEndSimulator, generate_program
+from repro.config import MachineConfig
+from repro.core.machine import Machine
+from repro.isa import FunctionalExecutor
+from repro.workloads import characterize
+
+
+@pytest.fixture(scope="module")
+def compress():
+    return generate_program("compress")
+
+
+def test_generated_program_is_stable(compress):
+    assert len(compress) == 1067
+    # First instruction of main and the data image are pinned.
+    assert compress.instructions[compress.entry].disassemble() == \
+        "ADDI r30, r0, 16777216"
+    assert compress.data_symbols["work"] == 0
+
+
+def test_functional_execution_golden(compress):
+    executor = FunctionalExecutor(compress, max_instructions=10_000)
+    assert executor.run_to_completion() == 10_000
+    # The architectural register file after exactly 10k instructions.
+    assert executor.state.pc == compress.instructions[executor.state.pc].addr
+    assert executor.state.regs[17] > 0  # the global step counter advanced
+
+
+def test_workload_statistics_golden(compress):
+    stats = characterize(compress, max_instructions=20_000)
+    assert stats.cond_branches == 1867
+    assert stats.taken_branches == 842
+    assert stats.loads == 3287
+    assert stats.stores == 791
+
+
+def test_frontend_golden(compress):
+    result = FrontEndSimulator(compress, BASELINE, max_instructions=20_000).run()
+    stats = result.stats
+    assert result.instructions_retired == 20_000
+    assert stats.fetches == 1700
+    assert result.effective_fetch_rate == pytest.approx(20_000 / 1700)
+    assert stats.cond_mispredicts == 336
+
+
+def test_promotion_golden(compress):
+    result = FrontEndSimulator(compress, PROMOTION, max_instructions=20_000).run()
+    assert result.promotions == 6
+    assert result.stats.promoted_branches == 584
+
+
+def test_machine_golden(compress):
+    result = Machine(compress, MachineConfig(frontend=BASELINE),
+                     max_instructions=10_000).run()
+    assert result.retired == 10_000
+    assert result.cycles == 6878
+    assert result.cond_mispredicts == 324

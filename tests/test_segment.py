@@ -1,0 +1,165 @@
+"""Trace segment invariants: contiguity, branch limits, blocks."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.segment import (
+    MAX_SEGMENT_BRANCHES,
+    MAX_SEGMENT_INSTRUCTIONS,
+    FinalizeReason,
+    SegmentBranch,
+    TraceSegment,
+)
+
+
+def nop(addr):
+    return Instruction(addr=addr, op=Opcode.NOP)
+
+
+def branch(addr, target):
+    return Instruction(addr=addr, op=Opcode.BNE, rs1=1, rs2=0, target=target)
+
+
+def make_segment(instructions, branches=(), reason=FinalizeReason.MAX_SIZE):
+    segment = TraceSegment(
+        start_addr=instructions[0].addr,
+        instructions=list(instructions),
+        branches=list(branches),
+        finalize_reason=reason,
+    )
+    next_addr = segment.compute_next_addr()
+    segment.next_addr = -1 if next_addr is None else next_addr
+    return segment
+
+
+def test_straightline_segment_validates():
+    segment = make_segment([nop(i) for i in range(4)])
+    segment.validate()
+    assert segment.next_addr == 4
+
+
+def test_taken_branch_stitches_discontiguous_addresses():
+    insts = [nop(10), branch(11, 50), nop(50), nop(51)]
+    segment = make_segment(insts, [SegmentBranch(1, True, False)])
+    segment.validate()
+    assert segment.next_addr == 52
+
+
+def test_not_taken_branch_falls_through():
+    insts = [branch(10, 50), nop(11)]
+    segment = make_segment(insts, [SegmentBranch(0, False, False)])
+    segment.validate()
+    assert segment.next_addr == 12
+
+
+def test_discontiguity_rejected():
+    insts = [branch(10, 50), nop(99)]
+    segment = make_segment(insts, [SegmentBranch(0, False, False)])
+    with pytest.raises(ValueError, match="discontiguous"):
+        segment.validate()
+
+
+def test_branch_direction_mismatch_rejected():
+    # Branch embedded taken but followed by fall-through.
+    insts = [branch(10, 50), nop(11)]
+    segment = make_segment(insts, [SegmentBranch(0, True, False)])
+    with pytest.raises(ValueError):
+        segment.validate()
+
+
+def test_embedded_jump_and_call_are_contiguous_via_target():
+    insts = [
+        Instruction(addr=0, op=Opcode.JMP, target=5),
+        nop(5),
+        Instruction(addr=6, op=Opcode.CALL, target=20),
+        nop(20),
+    ]
+    segment = make_segment(insts)
+    segment.validate()
+    assert segment.next_addr == 21
+
+
+def test_size_limit():
+    segment = make_segment([nop(i) for i in range(MAX_SEGMENT_INSTRUCTIONS + 1)])
+    with pytest.raises(ValueError):
+        segment.validate()
+
+
+def test_dynamic_branch_limit():
+    insts = []
+    branches = []
+    addr = 0
+    for k in range(MAX_SEGMENT_BRANCHES + 1):
+        insts.append(branch(addr, addr + 1))
+        branches.append(SegmentBranch(len(insts) - 1, True, False))
+        addr += 1
+    segment = make_segment(insts, branches)
+    with pytest.raises(ValueError, match="dynamic branches"):
+        segment.validate()
+
+
+def test_promoted_branches_do_not_count_against_limit():
+    insts = []
+    branches = []
+    addr = 0
+    for k in range(5):
+        insts.append(branch(addr, addr + 1))
+        branches.append(SegmentBranch(len(insts) - 1, True, promoted=True))
+        addr += 1
+    segment = make_segment(insts, branches)
+    segment.validate()
+    assert segment.num_dynamic_branches == 0
+    assert len(segment.promoted_branches) == 5
+
+
+def test_empty_segment_rejected():
+    segment = TraceSegment(start_addr=0)
+    with pytest.raises(ValueError, match="empty"):
+        segment.validate()
+
+
+def test_unrecorded_branch_rejected():
+    segment = make_segment([branch(0, 5), nop(1)])
+    with pytest.raises(ValueError):
+        segment.validate()
+
+
+def test_block_boundaries_split_at_dynamic_branches_only():
+    insts = [nop(0), branch(1, 5), nop(5), branch(6, 9), nop(9)]
+    branches = [SegmentBranch(1, True, promoted=False),
+                SegmentBranch(3, True, promoted=True)]
+    segment = make_segment(insts, branches)
+    segment.validate()
+    # Blocks end at the dynamic branch (pos 1) and segment end (pos 4);
+    # the promoted branch at pos 3 does not end an atomic unit.
+    assert segment.block_boundaries() == [1, 4]
+
+
+def test_block_boundaries_when_segment_ends_at_branch():
+    insts = [nop(0), branch(1, 5)]
+    segment = make_segment(insts, [SegmentBranch(1, True, False)])
+    assert segment.block_boundaries() == [1]
+
+
+def test_segment_ending_in_return_has_unknown_successor():
+    insts = [nop(0), Instruction(addr=1, op=Opcode.RET)]
+    segment = make_segment(insts, reason=FinalizeReason.SEG_ENDER)
+    segment.validate()
+    assert segment.next_addr == -1
+
+
+def test_branch_at_lookup():
+    insts = [branch(0, 5), nop(1)]
+    record = SegmentBranch(0, False, False)
+    segment = make_segment(insts, [record])
+    assert segment.branch_at(0) is record
+    assert segment.branch_at(1) is None
+
+
+def test_duplicate_branch_positions_rejected():
+    insts = [branch(0, 5), nop(1)]
+    segment = make_segment(insts, [SegmentBranch(0, False, False),
+                                   SegmentBranch(0, True, False)])
+    with pytest.raises(ValueError, match="duplicate"):
+        segment.validate()

@@ -1,0 +1,92 @@
+"""Trace cache: lookup, LRU, and the no-path-associativity rule."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.segment import FinalizeReason, SegmentBranch, TraceSegment
+from repro.trace.trace_cache import TraceCache
+
+
+def make_segment(start, length=4, tag=0):
+    insts = [Instruction(addr=start + i, op=Opcode.NOP) for i in range(length)]
+    # ``tag`` differentiates same-start segments via their length.
+    return TraceSegment(start_addr=start, instructions=insts[:length - tag] or insts,
+                        finalize_reason=FinalizeReason.MAX_SIZE,
+                        next_addr=start + length)
+
+
+def test_miss_then_hit():
+    cache = TraceCache(n_lines=64, assoc=4)
+    assert cache.lookup(100) is None
+    segment = make_segment(100)
+    cache.insert(segment)
+    assert cache.lookup(100) is segment
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_no_path_associativity():
+    """A new segment starting at the same address replaces the old one,
+    even when the path differs (ABC evicts ABD)."""
+    cache = TraceCache(n_lines=64, assoc=4)
+    abc = make_segment(100, length=4)
+    abd = make_segment(100, length=3)
+    cache.insert(abc)
+    cache.insert(abd)
+    assert cache.lookup(100) is abd
+    assert cache.stats.overwrites == 1
+    assert cache.resident_segments() == 1
+
+
+def test_set_associative_lru():
+    cache = TraceCache(n_lines=4, assoc=2)  # 2 sets
+    # Addresses 0, 2, 4 all map to set 0.
+    s0, s2, s4 = make_segment(0), make_segment(2), make_segment(4)
+    cache.insert(s0)
+    cache.insert(s2)
+    cache.lookup(0)       # refresh s0
+    cache.insert(s4)      # evicts s2
+    assert cache.probe(0) is s0
+    assert cache.probe(2) is None
+    assert cache.probe(4) is s4
+    assert cache.stats.replacements == 1
+
+
+def test_probe_no_stats():
+    cache = TraceCache(n_lines=64, assoc=4)
+    cache.probe(5)
+    assert cache.stats.accesses == 0
+
+
+def test_different_sets_do_not_conflict():
+    cache = TraceCache(n_lines=8, assoc=2)  # 4 sets
+    for start in range(4):
+        cache.insert(make_segment(start))
+    assert cache.resident_segments() == 4
+
+
+def test_flush():
+    cache = TraceCache(n_lines=8, assoc=2)
+    cache.insert(make_segment(0))
+    cache.flush()
+    assert cache.resident_segments() == 0
+
+
+def test_paper_geometry():
+    cache = TraceCache()
+    assert cache.n_lines == 2048 and cache.assoc == 4 and cache.n_sets == 512
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        TraceCache(n_lines=10, assoc=4)
+    with pytest.raises(ValueError):
+        TraceCache(n_lines=12, assoc=4)  # 3 sets: not a power of two
+
+
+def test_hit_rate_property():
+    cache = TraceCache(n_lines=8, assoc=2)
+    cache.lookup(0)
+    cache.insert(make_segment(0))
+    cache.lookup(0)
+    assert cache.stats.hit_rate == pytest.approx(0.5)

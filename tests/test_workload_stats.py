@@ -1,0 +1,76 @@
+"""WorkloadStats edge behaviour and histogram bookkeeping."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.workloads import characterize
+from repro.workloads.stats import WorkloadStats
+
+
+def test_empty_stats_properties():
+    stats = WorkloadStats(name="x")
+    assert stats.avg_block_size == 0.0
+    assert stats.taken_rate == 0.0
+    assert stats.cond_branch_frac == 0.0
+    assert stats.load_frac == stats.store_frac == 0.0
+    assert stats.strongly_biased_dynamic_frac() == 0.0
+
+
+def test_characterize_counts_opcode_classes():
+    source = """
+        .data
+v:      .words 1
+        .text
+main:   ADDI r10, r0, 20
+loop:   LD r1, v(r0)
+        ST r1, v(r0)
+        CALL fn
+        ADDI r10, r10, -1
+        BNE r10, r0, loop
+        TRAP
+        HALT
+fn:     RET
+"""
+    stats = characterize(assemble(source), max_instructions=None)
+    assert stats.loads == 20
+    assert stats.stores == 20
+    assert stats.calls == 20
+    assert stats.returns == 20
+    assert stats.cond_branches == 20
+    assert stats.taken_branches == 19
+    assert stats.traps == 1
+
+
+def test_block_histogram_sums_to_blocks():
+    source = "main: ADDI r1, r0, 5\nloop: ADDI r1, r1, -1\n BNE r1, r0, loop\n HALT"
+    stats = characterize(assemble(source), max_instructions=None)
+    assert sum(stats.block_size_histogram.values()) == stats.fetch_blocks
+    # The loop body is a 2-instruction block.
+    assert stats.block_size_histogram[2] >= 4
+
+
+def test_site_rates_feed_bias_fraction():
+    # One branch taken 19/20 times (95%): strongly biased at 0.9.
+    source = "main: ADDI r1, r0, 20\nloop: ADDI r1, r1, -1\n BNE r1, r0, loop\n HALT"
+    stats = characterize(assemble(source), max_instructions=None)
+    assert stats.strongly_biased_dynamic_frac(threshold=0.9) == 1.0
+    assert stats.strongly_biased_dynamic_frac(threshold=0.99) == 0.0
+
+
+def test_sites_below_min_executions_ignored():
+    stats = WorkloadStats(name="x")
+    stats.site_executions[5] = 3  # fewer than 8 executions
+    stats.site_taken[5] = 3
+    assert stats.strongly_biased_dynamic_frac() == 0.0
+
+
+def test_static_touched_versus_total():
+    source = """
+main:   JMP skip
+dead:   NOP
+        NOP
+skip:   HALT
+"""
+    stats = characterize(assemble(source), max_instructions=None)
+    assert stats.static_total == 4
+    assert stats.static_touched == 2  # JMP and HALT only

@@ -1,0 +1,132 @@
+"""Workload generator and profiles: the programs must be valid, seeded,
+terminating, and realize their intended populations."""
+
+import pytest
+
+from repro.isa import FunctionalExecutor
+from repro.workloads import characterize, generate_program
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    TABLE4_BENCHMARKS,
+    get_profile,
+)
+
+SMALL = ["compress", "li", "plot"]
+
+
+def test_all_fifteen_paper_benchmarks_present():
+    assert len(BENCHMARK_NAMES) == 15
+    assert set(BENCHMARK_NAMES) == set(PROFILES)
+
+
+def test_table4_subset_is_big_footprint():
+    assert set(TABLE4_BENCHMARKS) <= set(BENCHMARK_NAMES)
+    for name in TABLE4_BENCHMARKS:
+        assert get_profile(name).default_dynamic >= 200_000
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_profile("spice")
+
+
+def test_bias_mix_sums_to_one():
+    for profile in PROFILES.values():
+        assert sum(profile.bias_mix.values()) == pytest.approx(1.0)
+
+
+def test_generation_is_deterministic():
+    a = generate_program("compress")
+    b = generate_program("compress")
+    assert len(a) == len(b)
+    assert [i.disassemble() for i in a.instructions[:200]] == \
+        [i.disassemble() for i in b.instructions[:200]]
+
+
+def test_seed_override_changes_program():
+    a = generate_program("compress")
+    b = generate_program("compress", seed=999)
+    assert [i.disassemble() for i in a.instructions[:200]] != \
+        [i.disassemble() for i in b.instructions[:200]]
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_programs_validate_and_execute(name):
+    program = generate_program(name)
+    program.validate_targets()
+    executor = FunctionalExecutor(program, max_instructions=15_000)
+    assert executor.run_to_completion() == 15_000  # still running at cap
+    assert not any(r < 0 for r in executor.state.regs)
+
+
+def test_programs_terminate_without_cap():
+    """A drastically shrunk profile runs to its HALT."""
+    from dataclasses import replace
+    from repro.workloads.generator import WorkloadGenerator
+    tiny = replace(get_profile("compress"), outer_iters=2, n_phases=2,
+                   stmts_per_phase=(6, 8), hot_trip=(3, 5), phase_trip=(2, 2))
+    program = WorkloadGenerator(tiny).generate()
+    executor = FunctionalExecutor(program, max_instructions=2_000_000)
+    executor.run_to_completion()
+    assert executor.state.instret < 2_000_000  # reached HALT
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_population_statistics(name):
+    stats = characterize(generate_program(name), max_instructions=30_000)
+    assert 3.0 <= stats.avg_block_size <= 16.0
+    assert 0.05 <= stats.cond_branch_frac <= 0.30
+    assert 0.08 <= stats.load_frac <= 0.40
+    assert 0.4 <= stats.taken_rate <= 0.85
+
+
+def test_static_footprint_ordering():
+    """Big-footprint benchmarks must dwarf the tight-loop ones."""
+    gcc = len(generate_program("gcc"))
+    compress = len(generate_program("compress"))
+    assert gcc > 4 * compress
+
+
+def test_interpreters_have_indirect_jumps():
+    stats = characterize(generate_program("li"), max_instructions=60_000)
+    assert stats.indirect_jumps > 10
+    assert stats.calls > 25
+
+
+def test_phase_flip_benchmark_has_mutator():
+    program = generate_program("plot")
+    assert "mutate_flips" in program.symbols
+    assert get_profile("plot").has_phase_flips
+
+
+def test_non_flip_benchmark_has_no_mutator():
+    program = generate_program("compress")
+    assert "mutate_flips" not in program.symbols
+
+
+def test_table1_metadata_matches_the_paper():
+    expected = {
+        "compress": 95, "gcc": 157, "go": 151, "ijpeg": 500, "li": 500,
+        "m88ksim": 493, "perl": 41, "vortex": 214, "gnuchess": 119,
+        "gs": 180, "pgp": 322, "python": 220, "plot": 284, "ss": 100,
+        "tex": 164,
+    }
+    for name, count in expected.items():
+        assert get_profile(name).paper_inst_count_m == count
+
+
+def test_strongly_biased_population_supports_promotion():
+    """Promotion depends on >50% of dynamic branches being biased; our
+    workloads should have a substantial biased fraction (site-weighted)."""
+    stats = characterize(generate_program("m88ksim"), max_instructions=40_000)
+    assert stats.strongly_biased_dynamic_frac(threshold=0.9) > 0.3
+
+
+def test_characterize_counts_everything():
+    stats = characterize(generate_program("compress"), max_instructions=10_000)
+    assert stats.dynamic_instructions == 10_000
+    assert stats.fetch_blocks > 0
+    assert stats.static_touched > 100
+    total_hist = sum(stats.block_size_histogram.values())
+    assert total_hist == stats.fetch_blocks
