@@ -1,0 +1,116 @@
+"""Engine throughput: raw simulation speed and result-cache behaviour.
+
+Unlike the figure/table benchmarks this one measures the *simulator*, not
+the simulated machine: correct-path instructions simulated per second for
+the oracle executor and the front-end simulator, plus the cost of a warm
+(disk-cached) result fetch.  Timings land in ``output/BENCH_engine.json``
+so the performance trajectory is tracked across changes.
+
+Reference point: the seed implementation simulated ~100k front-end
+instructions/second on the 1-core container this repo is developed in.
+No absolute-throughput assertion is made (machines differ); the JSON is
+the record.
+"""
+
+import json
+import os
+import time
+
+from conftest import OUTPUT_DIR, run_once
+
+from repro.config import BASELINE, PROMOTION_PACKING
+from repro.experiments import diskcache
+from repro.experiments import runner
+from repro.frontend.simulator import FrontEndSimulator
+from repro.isa.executor import run_oracle
+
+BENCHMARKS = ("compress", "gcc")
+CONFIGS = (("baseline", BASELINE), ("promotion_packing", PROMOTION_PACKING))
+
+
+def _time_engine() -> dict:
+    report = {"schema": 1, "runs": [], "oracle": [], "result_cache": {}}
+
+    # Raw simulation throughput: compute in-process, disk cache bypassed
+    # so a warm cache cannot fake engine speed.
+    os.environ["REPRO_DISK_CACHE"] = "0"
+    try:
+        runner.clear_caches()
+        for name in BENCHMARKS:
+            program = runner.get_program(name)
+            n = runner.default_length(name)
+            start = time.perf_counter()
+            oracle = run_oracle(program, n)
+            elapsed = time.perf_counter() - start
+            report["oracle"].append({
+                "benchmark": name,
+                "instructions": len(oracle),
+                "seconds": elapsed,
+                "inst_per_sec": len(oracle) / elapsed if elapsed else 0.0,
+            })
+            for label, config in CONFIGS:
+                start = time.perf_counter()
+                result = FrontEndSimulator(program, config, oracle=oracle).run()
+                elapsed = time.perf_counter() - start
+                accesses = result.tc_hits + result.tc_misses
+                report["runs"].append({
+                    "benchmark": name,
+                    "config": label,
+                    "instructions": result.instructions_retired,
+                    "cycles": result.cycles,
+                    "seconds": elapsed,
+                    "inst_per_sec":
+                        result.instructions_retired / elapsed if elapsed else 0.0,
+                    "effective_fetch_rate": result.effective_fetch_rate,
+                    "tc_hit_rate": result.tc_hits / accesses if accesses else 0.0,
+                })
+    finally:
+        os.environ.pop("REPRO_DISK_CACHE", None)
+
+    # Result-cache round trip: one cold store + one warm load.
+    name, (_label, config) = BENCHMARKS[0], CONFIGS[0]
+    n = runner.default_length(name)
+    runner.clear_caches()
+    start = time.perf_counter()
+    runner.frontend_result(name, config, n)  # computes, stores to disk
+    report["result_cache"]["cold_seconds"] = time.perf_counter() - start
+    runner.clear_caches()  # memos only: next call must hit the disk
+    start = time.perf_counter()
+    runner.frontend_result(name, config, n)
+    warm = time.perf_counter() - start
+    report["result_cache"]["warm_seconds"] = warm
+    report["result_cache"]["disk_enabled"] = diskcache.enabled()
+    report["result_cache"].update(diskcache.stats())
+    return report
+
+
+def bench_engine_throughput(benchmark, emit):
+    report = run_once(benchmark, _time_engine)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_engine.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    lines = ["Engine throughput (correct-path instructions simulated / second)"]
+    for row in report["oracle"]:
+        lines.append(f"  oracle     {row['benchmark']:<10}"
+                     f"{row['inst_per_sec']:>12,.0f} inst/s")
+    for row in report["runs"]:
+        lines.append(f"  {row['config']:<10} {row['benchmark']:<10}"
+                     f"{row['inst_per_sec']:>12,.0f} inst/s  "
+                     f"(tc hit rate {row['tc_hit_rate']:.2f})")
+    cache = report["result_cache"]
+    lines.append(f"  result cache: cold {cache['cold_seconds']:.2f}s -> "
+                 f"warm {cache['warm_seconds']:.3f}s "
+                 f"({cache['entries']} entries on disk)")
+    emit("BENCH_engine", "\n".join(lines))
+
+    # Structural assertions only — no machine-dependent throughput floors.
+    assert all(row["inst_per_sec"] > 0 for row in report["runs"])
+    for row in report["runs"]:
+        if row["config"] == "baseline":
+            assert row["tc_hit_rate"] > 0.1
+    if cache["disk_enabled"]:
+        # A warm fetch deserializes JSON instead of simulating: it must be
+        # far cheaper than the cold run it replaces.
+        assert cache["warm_seconds"] < cache["cold_seconds"] / 2

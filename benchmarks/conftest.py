@@ -46,3 +46,19 @@ def _announce_scale():
     if os.environ.get("REPRO_QUICK"):
         print("\n[repro] REPRO_QUICK=1: quarter-length simulation runs\n")
     yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _cold_cache_if_requested():
+    """``REPRO_COLD=1``: purge the persistent result cache up front.
+
+    By default the harness benefits from the on-disk cache (re-running a
+    figure after an unrelated edit is instant); set ``REPRO_COLD=1`` when
+    the point is to *time* the simulations themselves.
+    """
+    if os.environ.get("REPRO_COLD"):
+        from repro.experiments import clear_caches
+
+        clear_caches(disk=True)
+        print("\n[repro] REPRO_COLD=1: purged the on-disk result cache\n")
+    yield

@@ -115,8 +115,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    import os
+
     from repro.experiments import paper
 
+    if args.jobs is not None:
+        # The builders resolve their worker count from the environment, so
+        # one flag covers every grid the experiment touches.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     name = args.name
     if name == "table1":
         rows = paper.table1_rows()
@@ -188,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--jobs", "-j", type=int, default=None,
+                     help="worker processes for the simulation grid "
+                          "(default: REPRO_JOBS or the CPU count)")
 
     return parser
 

@@ -163,6 +163,10 @@ class Machine:
         self.fault_redirect_delay = 0
 
         self.result = MachineResult(benchmark=program.name, config=config)
+        # Reusable store-effect capture buffer for dispatch-time functional
+        # execution: one list + one lambda per dispatched instruction was a
+        # measurable allocation cost in the dispatch hot loop.
+        self._store_capture: List[Tuple[int, int]] = []
         self._fetch_cycle_groups: List[Tuple[int, FetchGroup]] = []
         self._mem_waiters: Dict[int, List[InFlight]] = {}  # store seq -> loads
         # Sequence numbers after which the fill unit's pending segment is
@@ -694,18 +698,20 @@ class Machine:
     def _wire_and_execute(self, rec: InFlight) -> None:
         """Rename, functionally execute, and queue one instruction."""
         inst = rec.inst
+        rename = self.rename
         pending = 0
         for reg in inst.src_regs():
-            producer = self.rename[reg]
+            producer = rename[reg]
             if producer is not None and producer.state is not InstState.DONE \
-                    and not producer.squashed:
+                    and producer.state is not InstState.SQUASHED:
                 pending += 1
                 producer.dependents.append(rec)
         rec.pending_srcs = pending
 
-        captured = []
+        captured = self._store_capture
+        captured.clear()
         result = step_instruction(inst, self.spec_regs, self._spec_read,
-                                  lambda a, v: captured.append((a, v)))
+                                  self._capture_store)
         rec.next_pc = result.next_pc
         rec.taken = result.taken
         rec.mem_addr = result.mem_addr
@@ -714,15 +720,19 @@ class Machine:
         if captured:
             rec.mem_addr, rec.value = captured[0]
         if rec.dest is not None:
-            self.rename[rec.dest] = rec
-        if inst.op.is_store:
+            rename[rec.dest] = rec
+        op = inst.op
+        if op.is_store:
             self.store_queue.append(rec)
-        elif inst.op.is_load:
+        elif op.is_load:
             self.load_queue.append(rec)
         if pending == 0:
             self._make_ready(rec)
         else:
             rec.state = InstState.WAITING
+
+    def _capture_store(self, addr: int, value: int) -> None:
+        self._store_capture.append((addr, value))
 
     def _spec_read(self, addr: int) -> int:
         for store in reversed(self.store_queue):

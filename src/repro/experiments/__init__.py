@@ -14,6 +14,13 @@ from repro.experiments.runner import (
     quick_scale,
     clear_caches,
 )
+from repro.experiments.scheduler import (
+    GridPoint,
+    prefetch_frontend,
+    prefetch_machine,
+    resolve_jobs,
+    run_grid,
+)
 from repro.experiments.paper import (
     table1_rows,
     fetch_breakdown,
@@ -38,6 +45,11 @@ __all__ = [
     "machine_result",
     "quick_scale",
     "clear_caches",
+    "GridPoint",
+    "prefetch_frontend",
+    "prefetch_machine",
+    "resolve_jobs",
+    "run_grid",
     "table1_rows",
     "fetch_breakdown",
     "table2_rows",

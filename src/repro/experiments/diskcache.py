@@ -1,0 +1,140 @@
+"""Persistent on-disk result cache.
+
+Simulation results survive process exit as versioned JSON files under a
+cache directory (``$REPRO_CACHE_DIR``, else ``~/.cache/repro``).  Files
+are named by the content-hash key from :mod:`repro.experiments.cachekey`,
+which folds in a fingerprint of the simulator source — editing any
+``repro`` module silently invalidates every stored result, so the cache
+never needs manual flushing after code changes.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``) so a killed process
+  never leaves a half-written entry;
+* unreadable, truncated, or wrong-version entries are treated as misses
+  and deleted — a corrupted cache degrades to a cold one, never to an
+  exception or a wrong result;
+* ``REPRO_DISK_CACHE=0`` disables the layer entirely (the in-process
+  memo caches in :mod:`repro.experiments.runner` keep working).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.cachekey import CACHE_SCHEMA_VERSION
+
+_SUFFIX = ".json"
+
+
+def enabled() -> bool:
+    """Is the disk layer on?  (``REPRO_DISK_CACHE=0`` turns it off.)"""
+    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "")
+
+
+def cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _path_for(key: str) -> Path:
+    return cache_dir() / f"{key}{_SUFFIX}"
+
+
+def load(key: str) -> Optional[Dict[str, Any]]:
+    """Payload stored under ``key``, or None on miss/corruption.
+
+    A file that cannot be parsed, or whose version tag does not match,
+    is deleted so it cannot shadow a future write under the same key.
+    """
+    if not enabled():
+        return None
+    path = _path_for(key)
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        envelope = json.loads(text)
+        if not isinstance(envelope, dict):
+            raise ValueError("not an object")
+        if envelope.get("version") != CACHE_SCHEMA_VERSION:
+            raise ValueError("version mismatch")
+        return envelope["payload"]
+    except (ValueError, KeyError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(key: str, kind: str, payload: Dict[str, Any]) -> None:
+    """Atomically persist ``payload`` under ``key``; failures are silent.
+
+    The cache is an accelerator: a full disk or read-only home directory
+    must not break an experiment run.
+    """
+    if not enabled():
+        return
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "version": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp_name, _path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
+
+def purge() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob(f"*{_SUFFIX}"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def stats() -> Dict[str, int]:
+    """Entry count and total bytes currently on disk (for reporting)."""
+    directory = cache_dir()
+    entries = 0
+    size = 0
+    if directory.is_dir():
+        for path in directory.glob(f"*{_SUFFIX}"):
+            try:
+                size += path.stat().st_size
+                entries += 1
+            except OSError:
+                pass
+    return {"entries": entries, "bytes": size}

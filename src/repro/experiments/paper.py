@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro import config as cfg
 from repro.config import CoreConfig, FrontEndConfig, MachineConfig
 from repro.experiments.runner import frontend_result, get_program, machine_result
+from repro.experiments.scheduler import prefetch_frontend, prefetch_machine
 from repro.frontend.stats import CycleCategory, FetchReason
 from repro.trace.fill_unit import PackingPolicy
 from repro.workloads.profiles import BENCHMARK_NAMES, TABLE4_BENCHMARKS, get_profile
@@ -100,6 +101,9 @@ def table2_rows(benchmarks: Optional[Sequence[str]] = None,
                 thresholds: Sequence[int] = (8, 16, 32, 64, 128, 256)) -> List[dict]:
     """Average effective fetch rate: icache, baseline, promotion sweep."""
     names = _benchmarks(benchmarks)
+    configs = [cfg.ICACHE, cfg.BASELINE]
+    configs += [cfg.promotion_with_threshold(t) for t in thresholds]
+    prefetch_frontend(names, configs)
 
     def avg_efr(config: FrontEndConfig) -> float:
         rates = [frontend_result(b, config).effective_fetch_rate for b in names]
@@ -125,8 +129,11 @@ def figure7_rows(benchmarks: Optional[Sequence[str]] = None,
 
     Promoted-branch faults count as mispredictions, as in the paper.
     """
+    names = _benchmarks(benchmarks)
+    prefetch_frontend(names, [cfg.BASELINE] + [
+        cfg.promotion_with_threshold(t) for t in thresholds])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         base = frontend_result(name, cfg.BASELINE).stats.total_cond_mispredicts
         row = {"benchmark": name}
         for threshold in thresholds:
@@ -143,6 +150,7 @@ def figure7_rows(benchmarks: Optional[Sequence[str]] = None,
 def table3_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """Predictions required per fetch: baseline vs promotion@64."""
     names = _benchmarks(benchmarks)
+    prefetch_frontend(names, [cfg.BASELINE, cfg.PROMOTION])
     rows = []
     for label, config in (("baseline", cfg.BASELINE), ("threshold = 64", cfg.PROMOTION)):
         buckets = {"0 or 1": 0.0, "2": 0.0, "3": 0.0}
@@ -158,8 +166,10 @@ def table3_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
 
 def figure9_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """Effective fetch rate, baseline vs unregulated packing."""
+    names = _benchmarks(benchmarks)
+    prefetch_frontend(names, [cfg.BASELINE, cfg.PACKING])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         base = frontend_result(name, cfg.BASELINE).effective_fetch_rate
         pack = frontend_result(name, cfg.PACKING).effective_fetch_rate
         rows.append({
@@ -173,8 +183,10 @@ def figure9_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
 
 def figure10_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """Effective fetch rates for all five configurations."""
+    names = _benchmarks(benchmarks)
+    prefetch_frontend(names, [config for _label, config in FIG10_CONFIGS])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         row = {"benchmark": name}
         for label, config in FIG10_CONFIGS:
             row[label] = frontend_result(name, config).effective_fetch_rate
@@ -203,6 +215,8 @@ def table4_rows(benchmarks: Optional[Sequence[str]] = None) -> dict:
     effective fetch rate per policy, mirroring the paper's final row.
     """
     names = list(benchmarks) if benchmarks is not None else list(TABLE4_BENCHMARKS)
+    prefetch_frontend(names, [cfg.PROMOTION] + [
+        cfg.promotion_with_packing(policy) for _label, policy in TABLE4_POLICIES])
     rows = []
     efr_sums = {label: 0.0 for label, _ in TABLE4_POLICIES}
     for name in names:
@@ -233,7 +247,9 @@ def figure11_rows(benchmarks: Optional[Sequence[str]] = None,
     """
     rows = []
     configs = _machine_configs(perfect)
-    for name in _benchmarks(benchmarks):
+    names = _benchmarks(benchmarks)
+    prefetch_machine(names, [config for _label, config in configs])
+    for name in names:
         row = {"benchmark": name}
         for label, machine_config in configs:
             row[label] = machine_result(name, machine_config).ipc
@@ -254,7 +270,9 @@ def figure12_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """Fetch-cycle accounting for the promotion+packing machine."""
     rows = []
     config = _machine_configs(False)[2][1]
-    for name in _benchmarks(benchmarks):
+    names = _benchmarks(benchmarks)
+    prefetch_machine(names, [config])
+    for name in names:
         result = machine_result(name, config)
         total = max(1, sum(result.cycle_accounting.values()))
         row = {"benchmark": name}
@@ -267,8 +285,10 @@ def figure12_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
 def figure13_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """% change in fetch cycles lost to mispredictions, vs baseline."""
     configs = _machine_configs(False)
+    names = _benchmarks(benchmarks)
+    prefetch_machine(names, [configs[1][1], configs[2][1]])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         base = machine_result(name, configs[1][1]).mispredict_lost_cycles
         new = machine_result(name, configs[2][1]).mispredict_lost_cycles
         rows.append({"benchmark": name, "pct_change": _pct_change(new, max(1, base))})
@@ -278,8 +298,10 @@ def figure13_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
 def figure14_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """% change in mispredicted branches (conditional + indirect)."""
     configs = _machine_configs(False)
+    names = _benchmarks(benchmarks)
+    prefetch_machine(names, [configs[1][1], configs[2][1]])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         base = machine_result(name, configs[1][1]).total_mispredicted_branches
         new = machine_result(name, configs[2][1]).total_mispredicted_branches
         rows.append({"benchmark": name, "pct_change": _pct_change(new, max(1, base))})
@@ -289,8 +311,10 @@ def figure14_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
 def figure15_rows(benchmarks: Optional[Sequence[str]] = None) -> List[dict]:
     """% change in mispredicted-branch resolution time."""
     configs = _machine_configs(False)
+    names = _benchmarks(benchmarks)
+    prefetch_machine(names, [configs[1][1], configs[2][1]])
     rows = []
-    for name in _benchmarks(benchmarks):
+    for name in names:
         base = machine_result(name, configs[1][1]).avg_resolution_time
         new = machine_result(name, configs[2][1]).avg_resolution_time
         rows.append({

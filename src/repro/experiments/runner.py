@@ -1,21 +1,40 @@
 """Memoized simulation runners shared by every experiment.
 
-The oracle (correct-path) instruction stream is configuration-independent,
-so it is computed once per benchmark and replayed against every front-end
-configuration.  Machine runs are cached per (benchmark, config, length).
+Results are served from a two-level cache:
 
-Set the environment variable ``REPRO_QUICK=1`` to divide all run lengths
-by four (used for fast CI passes); ``REPRO_SCALE=<float>`` applies an
-arbitrary multiplier.
+1. in-process memo dicts (same objects returned on repeat calls — the
+   oracle stream in particular is computed once per benchmark and
+   replayed against every front-end configuration), and
+2. the persistent on-disk cache (:mod:`repro.experiments.diskcache`),
+   keyed by content hash of (benchmark profile, config, run length,
+   simulator source fingerprint), so re-running an experiment script is
+   warm across processes and across parallel workers.
+
+Run-length environment knobs (they compose):
+
+* ``REPRO_QUICK=1`` divides all run lengths by four (fast CI passes);
+* ``REPRO_SCALE=<float>`` applies an arbitrary multiplier on top.
+
+An unparseable ``REPRO_SCALE`` warns once and falls back to 1.0 — it
+used to be silently ignored, which made typos look like real runs.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, Optional, Tuple
 
 from repro.config import FrontEndConfig, MachineConfig
 from repro.core.machine import Machine, MachineResult
+from repro.experiments import diskcache
+from repro.experiments.cachekey import cache_key
+from repro.experiments.serialize import (
+    frontend_result_from_dict,
+    frontend_result_to_dict,
+    machine_result_from_dict,
+    machine_result_to_dict,
+)
 from repro.frontend.simulator import FrontEndResult, FrontEndSimulator, compute_oracle
 from repro.isa.program import Program
 from repro.workloads import generate_program
@@ -26,23 +45,51 @@ _oracles: Dict[Tuple[str, int], list] = {}
 _frontend: Dict[Tuple[str, FrontEndConfig, int], FrontEndResult] = {}
 _machine: Dict[Tuple[str, MachineConfig, int], MachineResult] = {}
 
+_scale_warning_emitted = False
+
 
 def quick_scale() -> float:
-    """Run-length multiplier from the environment."""
+    """Run-length multiplier from the environment.
+
+    ``REPRO_QUICK`` contributes x0.25 and ``REPRO_SCALE`` multiplies on
+    top of it, so ``REPRO_QUICK=1 REPRO_SCALE=0.5`` runs at x0.125 —
+    they used to be exclusive, with QUICK silently masking SCALE.
+    """
+    global _scale_warning_emitted
+    scale = 1.0
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is not None:
+        try:
+            scale = float(raw)
+        except ValueError:
+            if not _scale_warning_emitted:
+                _scale_warning_emitted = True
+                warnings.warn(
+                    f"ignoring invalid REPRO_SCALE={raw!r} (not a number); "
+                    "using 1.0",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            scale = 1.0
     if os.environ.get("REPRO_QUICK"):
-        return 0.25
-    try:
-        return float(os.environ.get("REPRO_SCALE", "1.0"))
-    except ValueError:
-        return 1.0
+        scale *= 0.25
+    return scale
 
 
-def clear_caches() -> None:
-    """Drop every memoized program, oracle and result."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop every memoized program, oracle and result.
+
+    With ``disk=True`` also purge the persistent on-disk result cache —
+    used by benchmarks that need genuinely cold runs.
+    """
+    global _scale_warning_emitted
     _programs.clear()
     _oracles.clear()
     _frontend.clear()
     _machine.clear()
+    _scale_warning_emitted = False
+    if disk:
+        diskcache.purge()
 
 
 def get_program(benchmark: str) -> Program:
@@ -76,19 +123,43 @@ def get_oracle(benchmark: str, n: Optional[int] = None) -> list:
     return oracle
 
 
-def frontend_result(benchmark: str, config: FrontEndConfig,
-                    n: Optional[int] = None) -> FrontEndResult:
-    """Memoized oracle-driven front-end run."""
+def cached_frontend_result(benchmark: str, config: FrontEndConfig,
+                           n: Optional[int] = None) -> Optional[FrontEndResult]:
+    """Memo- or disk-cached front-end result, or None (never computes)."""
     if n is None:
         n = default_length(benchmark)
     key = (benchmark, config, n)
     result = _frontend.get(key)
-    if result is None:
-        simulator = FrontEndSimulator(
-            get_program(benchmark), config, oracle=get_oracle(benchmark, n)
-        )
-        result = simulator.run()
+    if result is not None:
+        return result
+    payload = diskcache.load(cache_key("frontend", benchmark, config, n))
+    if payload is not None:
+        result = frontend_result_from_dict(payload)
         _frontend[key] = result
+        return result
+    return None
+
+
+def admit_frontend_result(result: FrontEndResult, n: int) -> None:
+    """Insert a result computed elsewhere (a pool worker) into the memo."""
+    _frontend[(result.benchmark, result.config, n)] = result
+
+
+def frontend_result(benchmark: str, config: FrontEndConfig,
+                    n: Optional[int] = None) -> FrontEndResult:
+    """Oracle-driven front-end run, memoized in process and on disk."""
+    if n is None:
+        n = default_length(benchmark)
+    result = cached_frontend_result(benchmark, config, n)
+    if result is not None:
+        return result
+    simulator = FrontEndSimulator(
+        get_program(benchmark), config, oracle=get_oracle(benchmark, n)
+    )
+    result = simulator.run()
+    diskcache.store(cache_key("frontend", benchmark, config, n),
+                    "frontend", frontend_result_to_dict(result))
+    _frontend[(benchmark, config, n)] = result
     return result
 
 
@@ -101,21 +172,53 @@ def machine_result(benchmark: str, config: MachineConfig,
     would be dominated by predictor and trace-cache cold-start.  Standard
     practice (SimpleScalar's fast-forwarding): train the front-end
     structures functionally, then measure.
+
+    The warmup window scales with the environment knobs, so it is part
+    of the disk cache key.
     """
+    if n is None:
+        n = machine_length(benchmark)
+    result = cached_machine_result(benchmark, config, n, warmup=warmup)
+    if result is not None:
+        return result
+    warmup_n = default_length(benchmark) if warmup else 0
+    program = get_program(benchmark)
+    engine = None
+    if warmup:
+        from repro.frontend.build import build_engine
+        engine = build_engine(program, config.frontend,
+                              memory_config=config.memory)
+        FrontEndSimulator(program, config.frontend,
+                          oracle=get_oracle(benchmark), engine=engine).run()
+    result = Machine(program, config, max_instructions=n,
+                     engine=engine).run()
+    diskcache.store(cache_key("machine", benchmark, config, n,
+                              extra={"warmup": warmup_n}),
+                    "machine", machine_result_to_dict(result))
+    _machine[(benchmark, config, n)] = result
+    return result
+
+
+def cached_machine_result(benchmark: str, config: MachineConfig,
+                          n: Optional[int] = None,
+                          warmup: bool = True) -> Optional[MachineResult]:
+    """Memo- or disk-cached machine result, or None (never computes)."""
     if n is None:
         n = machine_length(benchmark)
     key = (benchmark, config, n)
     result = _machine.get(key)
-    if result is None:
-        program = get_program(benchmark)
-        engine = None
-        if warmup:
-            from repro.frontend.build import build_engine
-            engine = build_engine(program, config.frontend,
-                                  memory_config=config.memory)
-            FrontEndSimulator(program, config.frontend,
-                              oracle=get_oracle(benchmark), engine=engine).run()
-        result = Machine(program, config, max_instructions=n,
-                         engine=engine).run()
+    if result is not None:
+        return result
+    warmup_n = default_length(benchmark) if warmup else 0
+    payload = diskcache.load(cache_key("machine", benchmark, config, n,
+                                       extra={"warmup": warmup_n}))
+    if payload is not None:
+        result = machine_result_from_dict(payload)
         _machine[key] = result
-    return result
+        return result
+    return None
+
+
+def admit_machine_result(result: MachineResult, n: int) -> None:
+    """Insert a result computed elsewhere (a pool worker) into the memo."""
+    _machine[(result.benchmark, result.config, n)] = result

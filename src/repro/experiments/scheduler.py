@@ -1,0 +1,184 @@
+"""Process-pool experiment scheduler.
+
+The paper's tables and figures are grids of independent simulations:
+(benchmark, configuration, run length) points.  This module fans a grid
+out over worker processes and merges the results back into the runner's
+caches, so experiment builders keep their simple serial loops — by the
+time a builder iterates, every point it asks for is a memo hit.
+
+Scheduling decisions:
+
+* **Grouping.**  Points are grouped per benchmark and each group is one
+  pool task: the oracle (correct-path) instruction stream is shared by
+  every configuration of a benchmark, so computing it once per worker
+  amortizes it exactly as the in-process runner does.
+* **Cache-first.**  The parent serves every point it can from the memo
+  and disk caches before spawning anything; a fully warm grid never
+  creates a pool.
+* **Degradation.**  ``jobs <= 1`` (the default on single-core boxes) or
+  a single-benchmark grid runs inline in the parent — same results,
+  no pickling, no process startup.
+
+Worker count resolution: explicit ``jobs`` argument, else ``REPRO_JOBS``
+from the environment, else ``os.cpu_count()``.
+
+Workers inherit ``REPRO_CACHE_DIR`` and write the disk cache themselves,
+so a parallel run leaves the same warm cache behind as a serial one.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments import runner
+
+#: GridPoint.kind values.
+FRONTEND = "frontend"
+MACHINE = "machine"
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One simulation in an experiment grid.
+
+    ``n=None`` means "the runner's default length for this benchmark",
+    resolved in the parent process at schedule time (so monkeypatched or
+    env-scaled lengths apply exactly once, consistently).
+    ``warmup`` only applies to machine points.
+    """
+
+    kind: str
+    benchmark: str
+    config: Any
+    n: Optional[int] = None
+    warmup: bool = True
+
+    def resolved(self) -> "GridPoint":
+        if self.n is not None:
+            return self
+        if self.kind == FRONTEND:
+            n = runner.default_length(self.benchmark)
+        elif self.kind == MACHINE:
+            n = runner.machine_length(self.benchmark)
+        else:
+            raise ValueError(f"unknown grid point kind: {self.kind!r}")
+        return replace(self, n=n)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS")
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring invalid REPRO_JOBS={raw!r} (not an integer)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _run_point(point: GridPoint):
+    """Execute one resolved point through the runner (memo+disk aware)."""
+    if point.kind == FRONTEND:
+        return runner.frontend_result(point.benchmark, point.config, point.n)
+    return runner.machine_result(point.benchmark, point.config, point.n,
+                                 warmup=point.warmup)
+
+
+def _run_batch(points: List[GridPoint]) -> list:
+    """Pool task: run one benchmark's points in a worker process.
+
+    Goes through the runner so the worker computes the benchmark's
+    program and oracle once, reuses them for every configuration in the
+    batch, and persists each result to the shared disk cache.
+    """
+    return [_run_point(point) for point in points]
+
+
+def _admit(point: GridPoint, result) -> None:
+    if point.kind == FRONTEND:
+        runner.admit_frontend_result(result, point.n)
+    else:
+        runner.admit_machine_result(result, point.n)
+
+
+def run_grid(points: Sequence[GridPoint],
+             jobs: Optional[int] = None) -> Dict[GridPoint, Any]:
+    """Run every grid point; returns ``{resolved point: result}``.
+
+    Duplicate points collapse to one simulation.  Results are also left
+    in the runner's in-process memo, so subsequent direct
+    ``frontend_result`` / ``machine_result`` calls are hits.
+    """
+    resolved: List[GridPoint] = []
+    seen = set()
+    for point in points:
+        point = point.resolved()
+        if point not in seen:
+            seen.add(point)
+            resolved.append(point)
+
+    results: Dict[GridPoint, Any] = {}
+    misses: List[GridPoint] = []
+    for point in resolved:
+        if point.kind == FRONTEND:
+            cached = runner.cached_frontend_result(
+                point.benchmark, point.config, point.n)
+        else:
+            cached = runner.cached_machine_result(
+                point.benchmark, point.config, point.n, warmup=point.warmup)
+        if cached is not None:
+            results[point] = cached
+        else:
+            misses.append(point)
+    if not misses:
+        return results
+
+    groups: Dict[str, List[GridPoint]] = {}
+    for point in misses:
+        groups.setdefault(point.benchmark, []).append(point)
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(groups) <= 1:
+        for point in misses:
+            results[point] = _run_point(point)
+        return results
+
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(groups))) as pool:
+        futures = {pool.submit(_run_batch, batch): batch
+                   for batch in groups.values()}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                batch = futures[future]
+                for point, result in zip(batch, future.result()):
+                    _admit(point, result)
+                    results[point] = result
+    return results
+
+
+def prefetch_frontend(benchmarks: Sequence[str], configs: Sequence[Any],
+                      n: Optional[int] = None,
+                      jobs: Optional[int] = None) -> None:
+    """Warm the caches for a benchmarks x front-end-configs grid."""
+    run_grid([GridPoint(FRONTEND, b, c, n) for b in benchmarks for c in configs],
+             jobs=jobs)
+
+
+def prefetch_machine(benchmarks: Sequence[str], configs: Sequence[Any],
+                     n: Optional[int] = None, warmup: bool = True,
+                     jobs: Optional[int] = None) -> None:
+    """Warm the caches for a benchmarks x machine-configs grid."""
+    run_grid([GridPoint(MACHINE, b, c, n, warmup)
+              for b in benchmarks for c in configs], jobs=jobs)

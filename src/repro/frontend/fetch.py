@@ -40,7 +40,7 @@ _REASON_FROM_FINALIZE = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredRecord:
     """Everything needed to train the predictor for one fetched branch."""
 
@@ -50,7 +50,7 @@ class PredRecord:
     predicted: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchResult:
     """One cycle's fetch."""
 
@@ -91,6 +91,12 @@ class _FrontEndBase:
         self.ghr = GlobalHistory(ghr_bits)
         self.ras = IdealReturnAddressStack()
         self.indirect = LastTargetPredictor()
+        #: Record per-branch (GHR, RAS) snapshots in each FetchResult's
+        #: ``control_snapshots``.  Only the out-of-order core reads them
+        #: (checkpoint repair); the oracle-driven front-end simulator
+        #: restores from its own architectural state, so it turns this off
+        #: to skip a RAS copy per fetched branch.
+        self.capture_snapshots = True
 
     def snapshot(self) -> tuple:
         return (self.ghr.snapshot(), self.ras.snapshot())
@@ -219,30 +225,43 @@ class TraceFetchEngine(_FrontEndBase):
         return chosen
 
     def _fetch_from_segment(self, pc: int, segment: TraceSegment) -> FetchResult:
-        prediction = self.predictor.predict(pc, self.ghr.value)
+        ghr = self.ghr
+        ras = self.ras
+        ghr_push = ghr.push
+        prediction = self.predictor.predict(pc, ghr.value)
         result = FetchResult(pc=pc, source="tc", segment=segment)
+        active_append = result.active.append
+        dirs_append = result.active_dirs.append
+        promoted_append = result.active_promoted.append
+        fault_overrides = self._fault_overrides
+        capture = self.capture_snapshots
+        slots = segment._fetch_slots
+        if slots is None:
+            slots = segment.fetch_slots()
         dyn_index = 0
         divergence_pos: Optional[int] = None
         diverging_predicted = False
-        for pos, inst in enumerate(segment.instructions):
+        for pos, (inst, branch, call_ft) in enumerate(slots):
             direction: Optional[bool] = None
             promoted = False
-            if inst.op.is_cond_branch:
-                result.control_snapshots[pos] = (self.ghr.value, self.ras.snapshot())
-                branch = segment.branch_at(pos)
+            if branch is not None:
+                if capture:
+                    result.control_snapshots[pos] = (ghr.value, ras.snapshot())
                 promoted = branch.promoted
-                override = self._fault_overrides.pop(inst.addr, None) if promoted else None
+                override = None
+                if promoted and fault_overrides:
+                    override = fault_overrides.pop(inst.addr, None)
                 if override is not None:
                     # One-shot recovery override after a promoted-branch
                     # fault: execute the branch in its known direction.
                     direction = override
-                    self.ghr.push(direction)
+                    ghr_push(direction)
                     if direction != branch.direction:
                         divergence_pos = pos
                         diverging_predicted = direction
                 elif promoted:
                     direction = branch.direction
-                    self.ghr.push(direction)
+                    ghr_push(direction)
                 else:
                     predicted = prediction.taken[dyn_index]
                     result.pred_records.append(
@@ -250,16 +269,16 @@ class TraceFetchEngine(_FrontEndBase):
                                    token=prediction.indices[dyn_index], predicted=predicted)
                     )
                     dyn_index += 1
-                    self.ghr.push(predicted)
+                    ghr_push(predicted)
                     direction = predicted
                     if predicted != branch.direction:
                         divergence_pos = pos
                         diverging_predicted = predicted
-            elif inst.op is Opcode.CALL:
-                self.ras.push(inst.fall_through)
-            result.active.append(inst)
-            result.active_dirs.append(direction)
-            result.active_promoted.append(promoted)
+            elif call_ft is not None:
+                ras.push(call_ft)
+            active_append(inst)
+            dirs_append(direction)
+            promoted_append(promoted)
             if divergence_pos is not None:
                 break
         result.predictions_used = dyn_index
@@ -271,9 +290,8 @@ class TraceFetchEngine(_FrontEndBase):
             # The remainder of the line issues inactively, along the
             # segment's own (non-predicted) path.
             if self.inactive_issue:
-                for pos in range(divergence_pos + 1, len(segment.instructions)):
-                    inst = segment.instructions[pos]
-                    branch = segment.branch_at(pos) if inst.op.is_cond_branch else None
+                for pos in range(divergence_pos + 1, len(slots)):
+                    inst, branch, _call_ft = slots[pos]
                     result.inactive.append(inst)
                     result.inactive_dirs.append(branch.direction if branch else None)
                     result.inactive_promoted.append(branch.promoted if branch else False)
@@ -301,7 +319,8 @@ class TraceFetchEngine(_FrontEndBase):
         last = block[-1]
         predicted: Optional[bool] = None
         if last.op.is_cond_branch:
-            result.control_snapshots[len(block) - 1] = (self.ghr.value, self.ras.snapshot())
+            if self.capture_snapshots:
+                result.control_snapshots[len(block) - 1] = (self.ghr.value, self.ras.snapshot())
             prediction = self.predictor.predict(pc, self.ghr.value)
             predicted = prediction.taken[0]
             result.pred_records.append(
@@ -349,7 +368,8 @@ class ICacheFetchEngine(_FrontEndBase):
         last = block[-1]
         predicted: Optional[bool] = None
         if last.op.is_cond_branch:
-            result.control_snapshots[len(block) - 1] = (self.ghr.value, self.ras.snapshot())
+            if self.capture_snapshots:
+                result.control_snapshots[len(block) - 1] = (self.ghr.value, self.ras.snapshot())
             prediction = self.predictor.predict(last.addr, self.ghr.value)
             predicted = prediction.taken
             result.pred_records.append(

@@ -21,7 +21,7 @@ from repro.config import FrontEndConfig
 from repro.frontend.build import build_engine
 from repro.frontend.fetch import FetchResult, TraceFetchEngine
 from repro.frontend.stats import CycleCategory, FetchReason, FetchRecord, FetchStats
-from repro.isa.executor import FunctionalExecutor
+from repro.isa.executor import run_oracle
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.program import Program
@@ -32,8 +32,7 @@ OracleEntry = Tuple[Instruction, Optional[bool], int]
 
 def compute_oracle(program: Program, max_instructions: Optional[int]) -> List[OracleEntry]:
     """Execute functionally and return the correct-path stream."""
-    executor = FunctionalExecutor(program, max_instructions=max_instructions)
-    return [(dyn.inst, dyn.result.taken, dyn.result.next_pc) for dyn in executor.run()]
+    return run_oracle(program, max_instructions)
 
 
 @dataclass
@@ -64,12 +63,12 @@ class FrontEndResult:
         return self.instructions_retired / self.cycles if self.cycles else 0.0
 
 
-@dataclass
-class _UsefulInst:
-    inst: Instruction
-    taken: Optional[bool]
-    promoted: bool
-    record: Optional[object]  # PredRecord for dynamically predicted branches
+#: One correct-path instruction consumed from a fetch:
+#: ``(inst, taken, promoted, record)`` where ``record`` is the PredRecord
+#: for dynamically predicted branches.  A plain tuple — one is built per
+#: retired instruction, so dataclass construction cost dominated the
+#: simulator's profile.
+_UsefulInst = Tuple[Instruction, Optional[bool], bool, Optional[object]]
 
 
 class FrontEndSimulator:
@@ -87,6 +86,10 @@ class FrontEndSimulator:
         self.config = config
         self.oracle = oracle if oracle is not None else compute_oracle(program, max_instructions)
         self.engine = engine if engine is not None else build_engine(program, config)
+        # This driver repairs from its own architectural GHR/RAS copies and
+        # never reads FetchResult.control_snapshots; skip capturing them
+        # (one RAS copy per fetched branch — only the core needs it).
+        self.engine.capture_snapshots = False
         self.fill_unit = getattr(self.engine, "fill_unit", None)
         self.stats = FetchStats()
         self._arch_ghr = 0
@@ -101,26 +104,46 @@ class FrontEndSimulator:
         n = len(oracle)
         i = 0
         pc = self.program.entry
+        fetch = self.engine.fetch
+        stats = self.stats
+        cycle_accounting = stats.cycle_accounting
+        match = self._match
+        retire = self._retire
+        record_fetch = self._record_fetch
+        advance = self._advance
+        # Accumulate per-fetch bookkeeping in locals and fold it into the
+        # stats Counters once after the loop: Counter.__getitem__ hashes an
+        # enum member per access, which showed up in the hot-loop profile.
+        cycles = self.cycles
+        useful_fetches = 0
+        miss_cycles = 0
         while i < n:
-            result = self.engine.fetch(pc)
-            self.cycles += 1
-            if result.stall_cycles:
-                self.cycles += result.stall_cycles
-                self.stats.cycle_accounting[CycleCategory.CACHE_MISSES] += result.stall_cycles
-                self.stats.cache_miss_cycles += result.stall_cycles
+            result = fetch(pc)
+            cycles += 1
+            stall = result.stall_cycles
+            if stall:
+                cycles += stall
+                miss_cycles += stall
             if not result.active:
                 # Off-image fetch cannot happen on the correct path.
                 raise RuntimeError(f"empty fetch at pc={pc}")
 
-            useful, i, event = self._match(result, oracle, i, n)
-            self.stats.cycle_accounting[CycleCategory.USEFUL_FETCH] += 1
-            self._retire(useful, oracle, i)
-            self._record_fetch(result, useful, event)
+            useful, i, event = match(result, oracle, i, n)
+            useful_fetches += 1
+            retire(useful, oracle, i)
+            record_fetch(result, useful, event)
 
             if i >= n:
                 break
             next_oracle_pc = oracle[i][0].addr
-            pc = self._advance(result, event, next_oracle_pc, useful)
+            self.cycles = cycles  # _advance charges penalties to self.cycles
+            pc = advance(result, event, next_oracle_pc, useful)
+            cycles = self.cycles
+        self.cycles = cycles
+        cycle_accounting[CycleCategory.USEFUL_FETCH] += useful_fetches
+        if miss_cycles:
+            cycle_accounting[CycleCategory.CACHE_MISSES] += miss_cycles
+            stats.cache_miss_cycles += miss_cycles
         return self._build_result()
 
     # --------------------------------------------------------------- match
@@ -132,9 +155,14 @@ class FrontEndSimulator:
         is one of None, "mispredict", "fault", "indirect", "misfetch".
         """
         useful: List[_UsefulInst] = []
+        useful_append = useful.append
         event: Optional[str] = None
         rec_ptr = 0
-        for idx, inst in enumerate(result.active):
+        active = result.active
+        active_dirs = result.active_dirs
+        active_promoted = result.active_promoted
+        pred_records = result.pred_records
+        for idx, inst in enumerate(active):
             if i >= n:
                 return useful, i, event
             o_inst, o_taken, _o_next = oracle[i]
@@ -142,27 +170,29 @@ class FrontEndSimulator:
                 raise RuntimeError(
                     f"fetch desync at {inst.addr} vs oracle {o_inst.addr}"
                 )
-            record = None
-            promoted = result.active_promoted[idx]
-            if inst.op.is_cond_branch and not promoted:
-                record = result.pred_records[rec_ptr]
-                rec_ptr += 1
-            useful.append(_UsefulInst(inst=inst, taken=o_taken, promoted=promoted, record=record))
-            i += 1
             if inst.op.is_cond_branch:
-                fetch_dir = result.active_dirs[idx]
-                if fetch_dir != o_taken:
+                promoted = active_promoted[idx]
+                record = None
+                if not promoted:
+                    record = pred_records[rec_ptr]
+                    rec_ptr += 1
+                useful_append((inst, o_taken, promoted, record))
+                i += 1
+                if active_dirs[idx] != o_taken:
                     event = "fault" if promoted else "mispredict"
                     if promoted:
                         self.stats.promoted_faults += 1
                     else:
                         self.stats.cond_mispredicts += 1
-                    if result.divergence and idx == len(result.active) - 1:
+                    if result.divergence and idx == len(active) - 1:
                         # The trace disagreed with the (wrong) prediction, so
                         # the inactively issued remainder is on the correct
                         # path: it retires from this same fetch.
                         i = self._consume_inactive(result, oracle, i, n, useful)
                     return useful, i, event
+            else:
+                useful_append((inst, o_taken, False, None))
+                i += 1
         # Every supplied direction matched; check the fetch's successor.
         if i < n:
             expected = oracle[i][0].addr
@@ -183,7 +213,7 @@ class FrontEndSimulator:
             if o_inst.addr != inst.addr:
                 return i
             promoted = result.inactive_promoted[idx]
-            useful.append(_UsefulInst(inst=inst, taken=o_taken, promoted=promoted, record=None))
+            useful.append((inst, o_taken, promoted, None))
             i += 1
             if inst.op.is_cond_branch and result.inactive_dirs[idx] != o_taken:
                 # The trace path itself leaves the correct path here; a
@@ -200,29 +230,35 @@ class FrontEndSimulator:
     def _retire(self, useful: List[_UsefulInst], oracle, i_after: int) -> None:
         path: List[bool] = []
         oracle_index = i_after - len(useful)
-        for offset, entry in enumerate(useful):
-            inst = entry.inst
-            if self.fill_unit is not None:
-                self.fill_unit.retire(inst, entry.taken)
+        fill_unit = self.fill_unit
+        if fill_unit is not None:
+            fill_unit.retire_batch(useful)
+        engine = self.engine
+        stats = self.stats
+        ghr_mask = engine.ghr.mask
+        arch_ras = self._arch_ras
+        arch_ghr = self._arch_ghr
+        for offset, (inst, taken, promoted, record) in enumerate(useful):
             opclass = inst.op.opclass
             if opclass is OpClass.COND_BRANCH:
-                self._arch_ghr = ((self._arch_ghr << 1) | int(entry.taken)) & self.engine.ghr.mask
-                if entry.promoted:
-                    self.stats.promoted_branches += 1
+                arch_ghr = ((arch_ghr << 1) | taken) & ghr_mask
+                if promoted:
+                    stats.promoted_branches += 1
                 else:
-                    self.stats.cond_branches += 1
-                    if entry.record is not None:
-                        self.engine.train_branch(entry.record, entry.taken, tuple(path))
-                        path.append(entry.taken)
+                    stats.cond_branches += 1
+                    if record is not None:
+                        engine.train_branch(record, taken, tuple(path))
+                        path.append(taken)
             elif opclass is OpClass.CALL:
-                self._arch_ras.append(inst.fall_through)
+                arch_ras.append(inst.fall_through)
             elif opclass is OpClass.RETURN:
-                if self._arch_ras:
-                    self._arch_ras.pop()
+                if arch_ras:
+                    arch_ras.pop()
             elif opclass is OpClass.INDIRECT:
-                self.stats.indirect_jumps += 1
+                stats.indirect_jumps += 1
                 actual_target = oracle[oracle_index + offset][2]
-                self.engine.indirect.update(inst.addr, actual_target)
+                engine.indirect.update(inst.addr, actual_target)
+        self._arch_ghr = arch_ghr
 
     # ------------------------------------------------------------- account
 
@@ -262,7 +298,7 @@ class FrontEndSimulator:
                 raise RuntimeError(
                     f"predicted next pc {pc} != oracle {next_oracle_pc} without event"
                 )
-        if useful and useful[-1].inst.op.opclass is OpClass.TRAP:
+        if useful and useful[-1][0].op.opclass is OpClass.TRAP:
             self.cycles += config.trap_penalty
             self.stats.cycle_accounting[CycleCategory.TRAPS] += config.trap_penalty
         return pc

@@ -32,9 +32,13 @@ def _to_signed(value: int) -> int:
     return value - (1 << 64) if value & _SIGN_BIT else value
 
 
-@dataclass(frozen=True)
 class ExecResult:
     """Outcome of executing one instruction.
+
+    A hand-rolled ``__slots__`` class rather than a frozen dataclass: one is
+    allocated per executed instruction and frozen-dataclass construction
+    (one ``object.__setattr__`` per field) was a measurable fraction of
+    functional-execution time.
 
     Attributes:
         next_pc: address of the next instruction on this path.
@@ -45,12 +49,27 @@ class ExecResult:
         halted: True after HALT.
     """
 
-    next_pc: int
-    taken: Optional[bool] = None
-    mem_addr: Optional[int] = None
-    value: Optional[int] = None
-    dest: Optional[int] = None
-    halted: bool = False
+    __slots__ = ("next_pc", "taken", "mem_addr", "value", "dest", "halted")
+
+    def __init__(self, next_pc: int, taken: Optional[bool] = None,
+                 mem_addr: Optional[int] = None, value: Optional[int] = None,
+                 dest: Optional[int] = None, halted: bool = False):
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_addr = mem_addr
+        self.value = value
+        self.dest = dest
+        self.halted = halted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecResult(next_pc={self.next_pc}, taken={self.taken}, "
+                f"mem_addr={self.mem_addr}, value={self.value}, "
+                f"dest={self.dest}, halted={self.halted})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExecResult):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name) for name in self.__slots__)
 
 
 def step_instruction(
@@ -71,8 +90,28 @@ def step_instruction(
     value = None
     dest = None
 
-    if op is Opcode.ADD:
+    # The chain is ordered by dynamic frequency in the paper workloads
+    # (ALU immediates and adds, then memory, then branches): this function
+    # executes every simulated instruction, so average chain depth matters.
+    if op is Opcode.ADDI:
+        value = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+    elif op is Opcode.ADD:
         value = (regs[inst.rs1] + regs[inst.rs2]) & _WORD_MASK
+    elif op is Opcode.LD:
+        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+        value = read_mem(mem_addr) & _WORD_MASK
+    elif op is Opcode.ST:
+        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
+        value = regs[inst.rs2] & _WORD_MASK
+        write_mem(mem_addr, value)
+    elif op is Opcode.BNE:
+        taken = regs[inst.rs1] != regs[inst.rs2]
+    elif op is Opcode.BEQ:
+        taken = regs[inst.rs1] == regs[inst.rs2]
+    elif op is Opcode.BLT:
+        taken = _to_signed(regs[inst.rs1]) < _to_signed(regs[inst.rs2])
+    elif op is Opcode.BGE:
+        taken = _to_signed(regs[inst.rs1]) >= _to_signed(regs[inst.rs2])
     elif op is Opcode.SUB:
         value = (regs[inst.rs1] - regs[inst.rs2]) & _WORD_MASK
     elif op is Opcode.AND:
@@ -89,8 +128,6 @@ def step_instruction(
         value = 1 if _to_signed(regs[inst.rs1]) < _to_signed(regs[inst.rs2]) else 0
     elif op is Opcode.MUL:
         value = (regs[inst.rs1] * regs[inst.rs2]) & _WORD_MASK
-    elif op is Opcode.ADDI:
-        value = (regs[inst.rs1] + inst.imm) & _WORD_MASK
     elif op is Opcode.ANDI:
         value = regs[inst.rs1] & (inst.imm & _WORD_MASK)
     elif op is Opcode.ORI:
@@ -101,21 +138,6 @@ def step_instruction(
         value = 1 if _to_signed(regs[inst.rs1]) < inst.imm else 0
     elif op is Opcode.LUI:
         value = (inst.imm << 16) & _WORD_MASK
-    elif op is Opcode.LD:
-        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
-        value = read_mem(mem_addr) & _WORD_MASK
-    elif op is Opcode.ST:
-        mem_addr = (regs[inst.rs1] + inst.imm) & _WORD_MASK
-        value = regs[inst.rs2] & _WORD_MASK
-        write_mem(mem_addr, value)
-    elif op is Opcode.BEQ:
-        taken = regs[inst.rs1] == regs[inst.rs2]
-    elif op is Opcode.BNE:
-        taken = regs[inst.rs1] != regs[inst.rs2]
-    elif op is Opcode.BLT:
-        taken = _to_signed(regs[inst.rs1]) < _to_signed(regs[inst.rs2])
-    elif op is Opcode.BGE:
-        taken = _to_signed(regs[inst.rs1]) >= _to_signed(regs[inst.rs2])
     elif op is Opcode.JMP:
         next_pc = inst.target
     elif op is Opcode.CALL:
@@ -125,7 +147,7 @@ def step_instruction(
         next_pc = regs[REG_LINK] & _WORD_MASK
     elif op is Opcode.JR:
         next_pc = regs[inst.rs1] & _WORD_MASK
-    elif op in (Opcode.NOP, Opcode.TRAP):
+    elif op is Opcode.NOP or op is Opcode.TRAP:
         pass
     elif op is Opcode.HALT:
         return ExecResult(next_pc=inst.addr, halted=True)
@@ -141,6 +163,151 @@ def step_instruction(
             regs[dest] = value
 
     return ExecResult(next_pc=next_pc, taken=taken, mem_addr=mem_addr, value=value, dest=dest)
+
+
+def run_oracle(program: Program, max_instructions: Optional[int] = None) -> list:
+    """Correct-path instruction stream as ``(inst, taken, next_pc)`` tuples.
+
+    Semantically identical to draining :class:`FunctionalExecutor` (same
+    :func:`step_instruction` core), but inlined: no per-instruction
+    :class:`DynInst`/state-object overhead.  This is the entry point the
+    front-end simulator's oracle computation uses; every configuration of a
+    benchmark replays this stream, so its cost is paid once per benchmark.
+    """
+    regs = [0] * NUM_REGS
+    regs[REG_SP] = STACK_BASE
+    memory = dict(program.data)
+    mem_get = memory.get
+
+    instructions = program.instructions
+    limit = len(instructions)
+    stream: list = []
+    append = stream.append
+    pc = program.entry
+    remaining = max_instructions if max_instructions is not None else -1
+    # The interpreter below inlines step_instruction's semantics (same
+    # frequency-ordered dispatch) without the per-instruction call frame or
+    # ExecResult allocation: only (inst, taken, next_pc) is kept, and that
+    # tuple goes straight into the stream.  Destination registers use the
+    # Instruction's precomputed ``_dest`` (None for discarded r0 writes).
+    MASK = _WORD_MASK
+    to_signed = _to_signed
+    ADDI = Opcode.ADDI; ADD = Opcode.ADD; LD = Opcode.LD; ST = Opcode.ST
+    BNE = Opcode.BNE; BEQ = Opcode.BEQ; BLT = Opcode.BLT; BGE = Opcode.BGE
+    SUB = Opcode.SUB; AND = Opcode.AND; OR = Opcode.OR; XOR = Opcode.XOR
+    SHL = Opcode.SHL; SHR = Opcode.SHR; SLT = Opcode.SLT; MUL = Opcode.MUL
+    ANDI = Opcode.ANDI; ORI = Opcode.ORI; XORI = Opcode.XORI
+    SLTI = Opcode.SLTI; LUI = Opcode.LUI; JMP = Opcode.JMP
+    CALL = Opcode.CALL; RET = Opcode.RET; JR = Opcode.JR
+    NOP = Opcode.NOP; TRAP = Opcode.TRAP; HALT = Opcode.HALT
+    while remaining != 0 and 0 <= pc < limit:
+        inst = instructions[pc]
+        op = inst.op
+        next_pc = pc + 1
+        taken = None
+        if op is ADDI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] + inst.imm) & MASK
+        elif op is ADD:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] + regs[inst.rs2]) & MASK
+        elif op is LD:
+            value = mem_get((regs[inst.rs1] + inst.imm) & MASK, 0) & MASK
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = value
+        elif op is ST:
+            memory[(regs[inst.rs1] + inst.imm) & MASK] = regs[inst.rs2] & MASK
+        elif op is BNE:
+            taken = regs[inst.rs1] != regs[inst.rs2]
+            if taken:
+                next_pc = inst.target
+        elif op is BEQ:
+            taken = regs[inst.rs1] == regs[inst.rs2]
+            if taken:
+                next_pc = inst.target
+        elif op is BLT:
+            taken = to_signed(regs[inst.rs1]) < to_signed(regs[inst.rs2])
+            if taken:
+                next_pc = inst.target
+        elif op is BGE:
+            taken = to_signed(regs[inst.rs1]) >= to_signed(regs[inst.rs2])
+            if taken:
+                next_pc = inst.target
+        elif op is SUB:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] - regs[inst.rs2]) & MASK
+        elif op is AND:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] & regs[inst.rs2]
+        elif op is OR:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] | regs[inst.rs2]
+        elif op is XOR:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] ^ regs[inst.rs2]
+        elif op is SHL:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] << (regs[inst.rs2] & 63)) & MASK
+        elif op is SHR:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] & MASK) >> (regs[inst.rs2] & 63)
+        elif op is SLT:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = 1 if to_signed(regs[inst.rs1]) < to_signed(regs[inst.rs2]) else 0
+        elif op is MUL:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (regs[inst.rs1] * regs[inst.rs2]) & MASK
+        elif op is ANDI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] & (inst.imm & MASK)
+        elif op is ORI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] | (inst.imm & MASK)
+        elif op is XORI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = regs[inst.rs1] ^ (inst.imm & MASK)
+        elif op is SLTI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = 1 if to_signed(regs[inst.rs1]) < inst.imm else 0
+        elif op is LUI:
+            rd = inst._dest
+            if rd is not None:
+                regs[rd] = (inst.imm << 16) & MASK
+        elif op is JMP:
+            next_pc = inst.target
+        elif op is CALL:
+            regs[REG_LINK] = pc + 1
+            next_pc = inst.target
+        elif op is RET:
+            next_pc = regs[REG_LINK] & MASK
+        elif op is JR:
+            next_pc = regs[inst.rs1] & MASK
+        elif op is NOP or op is TRAP:
+            pass
+        elif op is HALT:
+            append((inst, None, pc))
+            break
+        else:  # pragma: no cover - exhaustive over the opcode set
+            raise NotImplementedError(op)
+        append((inst, taken, next_pc))
+        pc = next_pc
+        remaining -= 1
+    return stream
 
 
 @dataclass

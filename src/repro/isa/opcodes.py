@@ -95,6 +95,7 @@ class Opcode(enum.Enum):
         self.is_direct_control = opclass in (
             OpClass.COND_BRANCH, OpClass.JUMP, OpClass.CALL)
         self.is_indirect_control = opclass in (OpClass.RETURN, OpClass.INDIRECT)
+        self.is_call = opclass is OpClass.CALL
         self.is_load = opclass is OpClass.LOAD
         self.is_store = opclass is OpClass.STORE
         self.is_mem = opclass in (OpClass.LOAD, OpClass.STORE)

@@ -61,6 +61,13 @@ class TraceSegment:
     #: Address the fetch continues at when every embedded branch follows the
     #: segment's path.
     next_addr: int = 0
+    #: position -> SegmentBranch, built on first use.  The fetch engine
+    #: probes every branch position on every hit, so the linear scan this
+    #: replaces dominated segment-fetch time.
+    _branch_map: Optional[dict] = field(default=None, init=False, repr=False, compare=False)
+    #: per-instruction ``(inst, branch, call_fall_through)`` walk list,
+    #: built on first fetch (see :meth:`fetch_slots`).
+    _fetch_slots: Optional[list] = field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -79,10 +86,32 @@ class TraceSegment:
         return sum(1 for b in self.branches if not b.promoted)
 
     def branch_at(self, position: int) -> Optional[SegmentBranch]:
-        for branch in self.branches:
-            if branch.position == position:
-                return branch
-        return None
+        bmap = self._branch_map
+        if bmap is None or len(bmap) != len(self.branches):
+            bmap = {b.position: b for b in self.branches}
+            self._branch_map = bmap
+        return bmap.get(position)
+
+    def fetch_slots(self) -> list:
+        """Cached per-instruction walk list for the fetch engine.
+
+        Each element is ``(inst, branch, call_fall_through)``: ``branch``
+        is the :class:`SegmentBranch` when ``inst`` is a conditional
+        branch (else None), ``call_fall_through`` is ``inst.fall_through``
+        when ``inst`` is a CALL (else None).  The fetch engine walks every
+        resident segment instruction on every trace-cache hit; hoisting
+        the opcode classification here turns that walk into tuple loads.
+        """
+        slots = self._fetch_slots
+        if slots is None:
+            slots = []
+            for pos, inst in enumerate(self.instructions):
+                op = inst.op
+                branch = self.branch_at(pos) if op.is_cond_branch else None
+                call_ft = inst.fall_through if op.is_call else None
+                slots.append((inst, branch, call_ft))
+            self._fetch_slots = slots
+        return slots
 
     def block_boundaries(self) -> List[int]:
         """End positions (inclusive) of each fetch block within the segment.

@@ -5,6 +5,26 @@ import pytest
 from repro.isa import assemble
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp directory.
+
+    Tests must never read results a previous run left in the user's real
+    ``~/.cache/repro`` (a stale hit would mask a behaviour change the
+    test suite should catch), nor pollute it with tiny test-length runs.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 LOOP_SOURCE = """
         .data
 arr:    .words 5 0 0 1 0

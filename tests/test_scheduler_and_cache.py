@@ -1,0 +1,232 @@
+"""The experiment scheduler and the persistent result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import (
+    BASELINE,
+    PROMOTION,
+    PROMOTION_PACKING,
+    CoreConfig,
+    MachineConfig,
+)
+from repro.experiments import diskcache, runner
+from repro.experiments.cachekey import (
+    cache_key,
+    code_fingerprint,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.experiments.scheduler import GridPoint, resolve_jobs, run_grid
+from repro.experiments.serialize import (
+    frontend_result_to_dict,
+    machine_result_to_dict,
+)
+from repro.mem.hierarchy import MemoryConfig
+
+N = 6_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path, monkeypatch):
+    """Every test gets its own empty disk cache and empty memos."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+# --- cache keys --------------------------------------------------------------
+
+
+def test_config_dict_round_trip():
+    for config in (BASELINE, PROMOTION_PACKING,
+                   MachineConfig(frontend=PROMOTION,
+                                 memory=MemoryConfig(l1d_bytes=32 * 1024),
+                                 core=CoreConfig(perfect_disambiguation=True))):
+        data = config_to_dict(config)
+        json.dumps(data)  # must be JSON-able as-is
+        assert config_from_dict(data) == config
+
+
+def test_config_round_trip_preserves_enums():
+    restored = config_from_dict(config_to_dict(PROMOTION_PACKING))
+    assert restored.packing is PROMOTION_PACKING.packing
+
+
+def test_cache_key_stability_and_sensitivity():
+    key = cache_key("frontend", "compress", BASELINE, N)
+    assert key == cache_key("frontend", "compress", BASELINE, N)
+    assert key != cache_key("frontend", "compress", BASELINE, N + 1)
+    assert key != cache_key("frontend", "compress", PROMOTION, N)
+    assert key != cache_key("frontend", "m88ksim", BASELINE, N)
+    assert key != cache_key("machine", "compress", BASELINE, N)
+    assert len(key) == 64  # sha256 hex
+
+
+def test_code_fingerprint_is_cached_and_hex():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# --- disk cache --------------------------------------------------------------
+
+
+def test_disk_cache_hit_skips_simulation(monkeypatch):
+    first = runner.frontend_result("compress", BASELINE, N)
+    assert diskcache.stats()["entries"] == 1
+
+    runner.clear_caches()  # memos only; the disk entry survives
+
+    def boom(*args, **kwargs):
+        raise AssertionError("simulated despite a disk cache hit")
+
+    monkeypatch.setattr(runner, "FrontEndSimulator", boom)
+    second = runner.frontend_result("compress", BASELINE, N)
+    assert frontend_result_to_dict(first) == frontend_result_to_dict(second)
+
+
+def test_machine_disk_round_trip():
+    config = MachineConfig(frontend=BASELINE)
+    first = runner.machine_result("compress", config, 2_000, warmup=False)
+    runner.clear_caches()
+    second = runner.machine_result("compress", config, 2_000, warmup=False)
+    assert machine_result_to_dict(first) == machine_result_to_dict(second)
+    assert second.ipc == first.ipc
+
+
+def test_corrupted_cache_file_recovers():
+    runner.frontend_result("compress", BASELINE, N)
+    key = cache_key("frontend", "compress", BASELINE, N)
+    path = diskcache.cache_dir() / f"{key}.json"
+    assert path.exists()
+    path.write_text("{not json at all")
+
+    runner.clear_caches()
+    result = runner.frontend_result("compress", BASELINE, N)  # recomputes
+    assert result.instructions_retired == N
+    # The corrupt entry was replaced by a good one.
+    assert diskcache.load(key) is not None
+
+
+def test_wrong_version_entry_is_discarded():
+    runner.frontend_result("compress", BASELINE, N)
+    key = cache_key("frontend", "compress", BASELINE, N)
+    path = diskcache.cache_dir() / f"{key}.json"
+    envelope = json.loads(path.read_text())
+    envelope["version"] = -1
+    path.write_text(json.dumps(envelope))
+    assert diskcache.load(key) is None
+    assert not path.exists()  # deleted, not left to shadow future writes
+
+
+def test_disk_cache_can_be_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    runner.frontend_result("compress", BASELINE, N)
+    assert diskcache.stats()["entries"] == 0
+
+
+def test_clear_caches_disk_purges():
+    runner.frontend_result("compress", BASELINE, N)
+    assert diskcache.stats()["entries"] == 1
+    runner.clear_caches(disk=True)
+    assert diskcache.stats()["entries"] == 0
+
+
+# --- scheduler ---------------------------------------------------------------
+
+
+def _grid():
+    return [GridPoint("frontend", b, c, N)
+            for b in ("compress", "m88ksim")
+            for c in (BASELINE, PROMOTION_PACKING)]
+
+
+def test_parallel_matches_serial_byte_identical():
+    parallel = run_grid(_grid(), jobs=2)
+    runner.clear_caches(disk=True)
+    serial = run_grid(_grid(), jobs=1)
+    assert set(parallel) == set(serial)
+    for point in parallel:
+        left = json.dumps(frontend_result_to_dict(parallel[point]), sort_keys=True)
+        right = json.dumps(frontend_result_to_dict(serial[point]), sort_keys=True)
+        assert left == right
+
+
+def test_run_grid_populates_runner_memo():
+    run_grid(_grid(), jobs=2)
+    # Direct runner calls must now be memo hits: same object every time.
+    first = runner.frontend_result("compress", BASELINE, N)
+    assert runner.frontend_result("compress", BASELINE, N) is first
+
+
+def test_run_grid_serves_cached_points_without_pool(monkeypatch):
+    run_grid(_grid(), jobs=1)
+    import repro.experiments.scheduler as scheduler
+
+    def boom(*args, **kwargs):
+        raise AssertionError("pool created for a fully cached grid")
+
+    monkeypatch.setattr(scheduler, "ProcessPoolExecutor", boom)
+    results = run_grid(_grid(), jobs=4)
+    assert len(results) == 4
+
+
+def test_run_grid_deduplicates():
+    point = GridPoint("frontend", "compress", BASELINE, N)
+    results = run_grid([point, point, point], jobs=1)
+    assert len(results) == 1
+
+
+def test_machine_grid_points():
+    config = MachineConfig(frontend=BASELINE)
+    results = run_grid(
+        [GridPoint("machine", "compress", config, 2_000, warmup=False)], jobs=1)
+    (result,) = results.values()
+    assert result.retired == 2_000
+
+
+def test_resolve_jobs(monkeypatch):
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == 1
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    with pytest.warns(RuntimeWarning):
+        assert resolve_jobs() == max(1, os.cpu_count() or 1)
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs() == max(1, os.cpu_count() or 1)
+
+
+def test_unknown_grid_kind_rejected():
+    with pytest.raises(ValueError):
+        GridPoint("backend", "compress", BASELINE).resolved()
+
+
+# --- run-length env knobs ----------------------------------------------------
+
+
+def test_quick_and_scale_compose(monkeypatch):
+    monkeypatch.delenv("REPRO_QUICK", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert runner.quick_scale() == 1.0
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert runner.quick_scale() == pytest.approx(0.125)
+
+
+def test_invalid_scale_warns_once(monkeypatch):
+    monkeypatch.delenv("REPRO_QUICK", raising=False)
+    monkeypatch.setenv("REPRO_SCALE", "fast")
+    runner.clear_caches()  # reset the warn-once latch
+    with pytest.warns(RuntimeWarning, match="REPRO_SCALE"):
+        assert runner.quick_scale() == 1.0
+    # Second call: silent (already warned) but same fallback.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert runner.quick_scale() == 1.0
