@@ -18,14 +18,33 @@ import time
 
 from conftest import OUTPUT_DIR, run_once
 
-from repro.config import BASELINE, PROMOTION_PACKING
+from repro.config import BASELINE, PROMOTION, PROMOTION_PACKING, MachineConfig
+from repro.core.machine import Machine
+from repro.core.machine_reference import Machine as ReferenceMachine
 from repro.experiments import diskcache
 from repro.experiments import runner
-from repro.frontend.simulator import FrontEndSimulator
+from repro.experiments import tracefile
+from repro.experiments.cachekey import canonical_json
+from repro.experiments.serialize import machine_result_to_dict
+from repro.frontend.build import build_engine
+from repro.frontend.simulator import FrontEndSimulator, compute_oracle
 from repro.isa.executor import run_oracle
 
 BENCHMARKS = ("compress", "gcc")
 CONFIGS = (("baseline", BASELINE), ("promotion_packing", PROMOTION_PACKING))
+
+#: Figure-11-class machine grid for the core speed record: one benchmark,
+#: the paper's three front-end configurations, warmed front end, machine
+#: window at the runner's machine length.
+MACHINE_GRID_BENCHMARK = "compress"
+MACHINE_CONFIGS = (
+    ("baseline", BASELINE),
+    ("promotion", PROMOTION),
+    ("promotion_packing", PROMOTION_PACKING),
+)
+#: Best-of-N minima: on a 1-core container single timings are noisy, the
+#: minimum of a few adjacent runs is the stable estimator.
+MACHINE_REPEATS = 2
 
 
 def _time_engine() -> dict:
@@ -114,3 +133,143 @@ def bench_engine_throughput(benchmark, emit):
         # A warm fetch deserializes JSON instead of simulating: it must be
         # far cheaper than the cold run it replaces.
         assert cache["warm_seconds"] < cache["cold_seconds"] / 2
+
+
+def _time_machine() -> dict:
+    """Machine-core speed record: event-driven core vs the frozen seed core.
+
+    Runs the figure-11-class machine grid (one benchmark, the paper's three
+    front-end configurations, warmed front end) end to end — front-end
+    warmup plus machine window — once per core per repeat, keeps the
+    best-of-N minimum per configuration, and asserts the serialized results
+    are byte-identical before recording the speedup.
+    """
+    report = {"schema": 1, "grid": [], "grid_total": {}, "trace_files": {}}
+    os.environ["REPRO_DISK_CACHE"] = "0"
+    try:
+        runner.clear_caches()
+        name = MACHINE_GRID_BENCHMARK
+        program = runner.get_program(name)
+        warm_n = runner.default_length(name)
+        n = runner.machine_length(name)
+        oracle = runner.get_oracle(name, warm_n)
+
+        def run_point(machine_cls, config):
+            start = time.perf_counter()
+            engine = build_engine(program, config.frontend,
+                                  memory_config=config.memory)
+            FrontEndSimulator(program, config.frontend, oracle=oracle,
+                              engine=engine).run()
+            result = machine_cls(program, config, max_instructions=n,
+                                 engine=engine).run()
+            return time.perf_counter() - start, result
+
+        total_ref = total_new = 0.0
+        for label, frontend in MACHINE_CONFIGS:
+            config = MachineConfig(frontend=frontend)
+            new_runs = [run_point(Machine, config)
+                        for _ in range(MACHINE_REPEATS)]
+            ref_runs = [run_point(ReferenceMachine, config)
+                        for _ in range(MACHINE_REPEATS)]
+            new_s, new_result = min(new_runs, key=lambda r: r[0])
+            ref_s, ref_result = min(ref_runs, key=lambda r: r[0])
+            identical = (canonical_json(machine_result_to_dict(new_result))
+                         == canonical_json(machine_result_to_dict(ref_result)))
+            total_ref += ref_s
+            total_new += new_s
+            report["grid"].append({
+                "benchmark": name,
+                "config": label,
+                "machine_instructions": n,
+                "warmup_instructions": warm_n,
+                "reference_seconds": ref_s,
+                "event_driven_seconds": new_s,
+                "speedup": ref_s / new_s if new_s else 0.0,
+                "machine_inst_per_sec": new_result.retired / new_s
+                if new_s else 0.0,
+                "ipc": new_result.ipc,
+                "cycles": new_result.cycles,
+                "results_identical": identical,
+            })
+        report["grid_total"] = {
+            "reference_seconds": total_ref,
+            "event_driven_seconds": total_new,
+            "speedup": total_ref / total_new if total_new else 0.0,
+        }
+    finally:
+        os.environ.pop("REPRO_DISK_CACHE", None)
+
+    # Trace-file round trip: cold functional execution + binary store vs a
+    # warm mmap load of the same oracle stream (best-of-3 minima each).
+    runner.clear_caches(disk=True)
+    name = MACHINE_GRID_BENCHMARK
+    program = runner.get_program(name)
+    n = runner.default_length(name)
+
+    def _best_of(fn, repeats=3):
+        best_s, value = None, None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - start
+            if best_s is None or elapsed < best_s:
+                best_s = elapsed
+        return best_s, value
+
+    compute_s, oracle = _best_of(lambda: compute_oracle(program, n))
+    store_s, stored = _best_of(lambda: tracefile.store_oracle(name, n, oracle))
+    load_s, loaded = _best_of(lambda: tracefile.load_oracle(name, n, program))
+    report["trace_files"] = {
+        "enabled": tracefile.enabled(),
+        "instructions": n,
+        "cold_compute_seconds": compute_s,
+        "cold_store_seconds": store_s,
+        "warm_load_seconds": load_s,
+        "replay_speedup": (compute_s / load_s) if load_s else 0.0,
+        "stored": stored is not None,
+        "loaded": loaded is not None and len(loaded) == n,
+    }
+    return report
+
+
+def bench_machine_core(benchmark, emit):
+    report = run_once(benchmark, _time_machine)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_machine.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    lines = ["Machine core: event-driven loop vs seed reference "
+             f"({MACHINE_GRID_BENCHMARK} machine grid, warmed front end)"]
+    for row in report["grid"]:
+        lines.append(
+            f"  {row['config']:<18} ref {row['reference_seconds']:5.2f}s  "
+            f"event-driven {row['event_driven_seconds']:5.2f}s  "
+            f"{row['speedup']:4.2f}x  "
+            f"({row['machine_inst_per_sec']:,.0f} machine inst/s, "
+            f"identical={row['results_identical']})")
+    total = report["grid_total"]
+    lines.append(f"  grid total         ref {total['reference_seconds']:5.2f}s"
+                 f"  event-driven {total['event_driven_seconds']:5.2f}s  "
+                 f"{total['speedup']:4.2f}x")
+    tf = report["trace_files"]
+    if tf["enabled"]:
+        lines.append(
+            f"  oracle trace file: compute {tf['cold_compute_seconds']:.2f}s"
+            f" + store {tf['cold_store_seconds']:.3f}s -> "
+            f"mmap load {tf['warm_load_seconds']:.3f}s "
+            f"({tf['replay_speedup']:,.0f}x replay speedup)")
+    emit("BENCH_machine", "\n".join(lines))
+
+    # The optimization contract: identical results, and the event-driven
+    # grid at least twice as fast end to end.  (Per-config jitter on a
+    # shared 1-core container is real; the grid total is the stable
+    # number, so only it carries the floor.)
+    assert all(row["results_identical"] for row in report["grid"])
+    assert total["speedup"] >= 2.0
+    if tf["enabled"]:
+        assert tf["stored"] and tf["loaded"]
+        # Replaying from the binary trace must beat functional
+        # re-execution (its whole point); the margin is what the record
+        # in BENCH_machine.json tracks over time.
+        assert tf["warm_load_seconds"] < tf["cold_compute_seconds"]

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 
 class SaturatingCounters:
     """A table of n-bit saturating counters.
@@ -26,14 +24,18 @@ class SaturatingCounters:
             init = self.threshold - 1  # weakly not-taken
         if not 0 <= init <= self.max_value:
             raise ValueError(f"init {init} out of range for {bits}-bit counter")
-        self._table = np.full(size, init, dtype=np.int8)
+        # A bytearray rather than a numpy array: single-element reads are
+        # the predictors' hot path, and bytearray indexing yields a plain
+        # int with none of the numpy scalar-boxing overhead.  Counter
+        # values are always in [0, max_value] so a byte per entry suffices.
+        self._table = bytearray([init]) * size
 
     def predict(self, index: int) -> bool:
         """Taken when the counter is in its upper half."""
-        return bool(self._table[index % self.size] >= self.threshold)
+        return self._table[index % self.size] >= self.threshold
 
     def value(self, index: int) -> int:
-        return int(self._table[index % self.size])
+        return self._table[index % self.size]
 
     def update(self, index: int, taken: bool) -> None:
         index %= self.size

@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-import numpy as np
-
 from repro.branch.counters import SaturatingCounters
 from repro.branch.gshare import GsharePredictor
 
@@ -61,29 +59,34 @@ class MultipleBranchPredictor:
         self.rows_bits = rows_bits
         self.history_bits = history_bits
         self.rows = 1 << rows_bits
-        self._table = np.ones((self.rows, 7), dtype=np.int8)
+        self._history_mask = (1 << history_bits) - 1
+        self._row_mask = self.rows - 1
+        # Flat bytearray of rows x 7 counters: predict() runs once per
+        # fetch, and byte reads sidestep numpy's per-element scalar boxing.
+        self._table = bytearray(b"\x01" * (self.rows * 7))
 
     def row_index(self, pc: int, history: int) -> int:
-        return (pc ^ (history & ((1 << self.history_bits) - 1))) & (self.rows - 1)
+        return (pc ^ (history & self._history_mask)) & self._row_mask
 
     def predict(self, pc: int, history: int) -> MultiPrediction:
         """Walk the counter tree using the predictions themselves."""
-        row = self.row_index(pc, history)
-        counters = self._table[row]
-        b0 = bool(counters[0] >= 2)
-        b1 = bool(counters[1 + int(b0)] >= 2)
-        b2 = bool(counters[3 + (int(b0) << 1 | int(b1))] >= 2)
+        row = (pc ^ (history & self._history_mask)) & self._row_mask
+        table = self._table
+        base = row * 7
+        b0 = table[base] >= 2
+        b1 = table[base + 1 + b0] >= 2
+        b2 = table[base + 3 + (b0 << 1 | b1)] >= 2
         return MultiPrediction(taken=(b0, b1, b2), indices=(row, row, row))
 
     def update(self, index: int, position: int, path: Tuple[bool, ...], taken: bool) -> None:
         """Train the counter B_position selected by the actual earlier outcomes."""
-        counter = _tree_counter_index(position, path)
-        value = self._table[index, counter]
+        slot = index * 7 + _tree_counter_index(position, path)
+        value = self._table[slot]
         if taken:
             if value < 3:
-                self._table[index, counter] = value + 1
+                self._table[slot] = value + 1
         elif value > 0:
-            self._table[index, counter] = value - 1
+            self._table[slot] = value - 1
 
     def storage_bits(self) -> int:
         return self.rows * 7 * 2

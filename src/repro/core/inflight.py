@@ -8,16 +8,34 @@ from typing import List, Optional
 from repro.isa.instruction import Instruction
 
 
-class InstState(enum.Enum):
-    """Lifecycle of an in-flight instruction in the window."""
+class InstState(enum.IntEnum):
+    """Lifecycle of an in-flight instruction in the window.
 
-    DORMANT = "dormant"    # inactively issued; occupies the window, not runnable
-    WAITING = "waiting"    # dispatched, operands outstanding
-    READY = "ready"        # operands available, awaiting a function unit
-    MEM_BLOCKED = "memblk" # load waiting on the memory scheduler
-    EXECUTING = "exec"     # issued to a function unit
-    DONE = "done"          # completed
-    SQUASHED = "squashed"  # killed by recovery
+    An ``IntEnum`` whose values the core stores as plain ints on
+    :attr:`InFlight.state`: state tests run tens of millions of times per
+    simulation and small-int comparison avoids the Python-level enum
+    identity/attribute machinery.  The numeric order is meaningful — every
+    state below :data:`EXECUTING` still occupies a reservation-station
+    slot, which the squash path exploits with a single ``<`` test.
+    """
+
+    DORMANT = 0      # inactively issued; occupies the window, not runnable
+    WAITING = 1      # dispatched, operands outstanding
+    READY = 2        # operands available, awaiting a function unit
+    MEM_BLOCKED = 3  # load waiting on the memory scheduler
+    EXECUTING = 4    # issued to a function unit
+    DONE = 5         # completed
+    SQUASHED = 6     # killed by recovery
+
+
+# Plain-int aliases for the core's hot loops.
+S_DORMANT = 0
+S_WAITING = 1
+S_READY = 2
+S_MEM_BLOCKED = 3
+S_EXECUTING = 4
+S_DONE = 5
+S_SQUASHED = 6
 
 
 class FetchGroup:
@@ -61,7 +79,19 @@ class Checkpoint:
 
 
 class InFlight:
-    """One instruction in the machine's window."""
+    """One instruction in the machine's window.
+
+    Dependence metadata is pre-resolved once: ``dependents`` starts as
+    ``None`` (most instructions complete with no waiter, so the list is
+    allocated lazily on first registration), and ``cp_need`` caches the
+    dispatch stage's checkpoint-boundary test, assigned when the record is
+    enqueued from a fetch.
+
+    ``sq_live`` mirrors store-queue membership for store records (set at
+    dispatch, cleared at commit or recovery truncation) so the core's
+    per-address store index can filter departed entries without scanning
+    the queue; it is only ever assigned/read for stores.
+    """
 
     __slots__ = (
         "seq", "inst", "group", "state", "fu",
@@ -70,46 +100,45 @@ class InFlight:
         "next_pc", "taken", "mem_addr", "value", "dest",
         # branch metadata
         "pred_record", "predicted_taken", "promoted", "static_dir",
-        "predicted_next", "checkpoint", "inactive_buffer",
+        "predicted_next", "checkpoint", "inactive_buffer", "cp_need",
         # memory scheduling
-        "store_blockers", "forward_from", "addr_known",
+        "addr_known", "sq_live",
         # timing
-        "fetch_cycle", "dispatch_cycle", "complete_cycle",
+        "fetch_cycle", "dispatch_cycle",
         "is_active",
     )
 
     def __init__(self, seq: int, inst: Instruction, group: FetchGroup, fetch_cycle: int):
+        # The functional-result slots (next_pc, taken, mem_addr, value,
+        # dest) and pending_srcs are deliberately NOT initialized here:
+        # the core assigns all of them unconditionally when the record is
+        # wired at dispatch, and nothing reads them before that.  The
+        # branch-metadata slots (promoted, static_dir, predicted_taken,
+        # pred_record) are likewise left unset: every read of them is
+        # gated on the record being a conditional branch, and the core's
+        # fetch-enqueue stage assigns all of them for every branch record.
+        # One record is allocated per fetched instruction (wrong path
+        # included), so the constructor is a hot path.
         self.seq = seq
         self.inst = inst
         self.group = group
-        self.state = InstState.WAITING
+        self.state = S_WAITING
         self.fu = -1
-        self.pending_srcs = 0
-        self.dependents: List["InFlight"] = []
-        self.next_pc: Optional[int] = None
-        self.taken: Optional[bool] = None
-        self.mem_addr: Optional[int] = None
-        self.value: Optional[int] = None
-        self.dest: Optional[int] = None
-        self.pred_record = None
+        self.dependents: Optional[List["InFlight"]] = None
         self.cp_snapshot = None
-        self.predicted_taken: Optional[bool] = None
-        self.promoted = False
-        self.static_dir: Optional[bool] = None
         self.predicted_next: Optional[int] = None
         self.checkpoint: Optional[Checkpoint] = None
-        self.inactive_buffer = None  # list of (inst, dir, promoted) past a divergence
-        self.store_blockers = 0
-        self.forward_from: Optional["InFlight"] = None
+        self.inactive_buffer = None  # dormant InFlights past a divergence
+        self.cp_need = False
         self.addr_known = False
         self.fetch_cycle = fetch_cycle
         self.dispatch_cycle = -1
-        self.complete_cycle = -1
         self.is_active = True
 
     @property
     def squashed(self) -> bool:
-        return self.state is InstState.SQUASHED
+        return self.state == S_SQUASHED
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<InFlight #{self.seq} {self.inst.disassemble()} {self.state.value}>"
+        return (f"<InFlight #{self.seq} {self.inst.disassemble()} "
+                f"{InstState(self.state).name.lower()}>")

@@ -1,0 +1,1001 @@
+"""Frozen reference copy of the per-cycle-scan machine core.
+
+This is the seed implementation of :mod:`repro.core.machine`, kept
+verbatim (imports aside) as the behavioural reference for the
+event-driven core that replaced it:
+
+* the parity tests (``tests/test_machine_parity.py``) run both cores on
+  the same inputs and require byte-identical serialized results, and
+* the machine-throughput benchmark times this core to measure the
+  event-driven core's end-to-end speedup (``BENCH_machine.json``).
+
+Do not optimize or otherwise modify this file — its value is that it
+stays exactly as slow and exactly as correct as the seed.
+
+Pipeline per cycle (processed in reverse order so stages are pipelined):
+
+1. **retire** — in-order commit of up to 16 instructions: stores write the
+   committed memory image, the fill unit and bias table consume the retired
+   stream, and branch predictors train.
+2. **complete** — instructions finishing execution this cycle wake their
+   dependents; branches verify their predictions and trigger checkpoint
+   repair on a misprediction, promoted-branch fault, or wrong indirect
+   target.
+3. **schedule** — each of the 16 universal function units issues its oldest
+   ready instruction; loads additionally pass the memory scheduler
+   (conservative: every older store's address must be known; perfect:
+   oracle dependences only) with store-queue forwarding.
+4. **dispatch** — up to 16 instructions rename, allocate reservation-station
+   slots, *functionally execute* against the speculative state (so
+   wrong-path instructions run real semantics), and take checkpoints at
+   fetch-block boundaries (up to 3/cycle).
+5. **fetch** — the front end supplies the next trace segment or icache
+   block along the predicted path, stalling for traps, full windows,
+   icache misses, unknown indirect targets, or recovery bubbles.
+
+Inactive issue: when a trace line partially matches the prediction, its
+remainder is dispatched *dormant* — occupying window slots but not
+executing.  If the diverging branch resolves against its prediction the
+dormant instructions activate immediately (zero refetch penalty); otherwise
+they squash.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.frontend.build import build_engine
+from repro.frontend.fetch import FetchResult, TraceFetchEngine
+from repro.frontend.stats import CycleCategory
+from repro.isa.executor import step_instruction
+from repro.isa.instruction import NUM_REGS, REG_SP
+from repro.isa.executor import STACK_BASE
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import Program
+
+#: Extra recovery cycles charged when a promoted branch faults: the machine
+#: backs up to the previous checkpoint rather than the branch itself.
+FAULT_EXTRA_PENALTY = 2
+
+#: Pipeline bubble between a recovery and the first redirected fetch.
+REDIRECT_BUBBLE = 1
+
+
+# --------------------------------------------------------------------------
+# Seed copies of the in-flight structures (repro.core.inflight as of the
+# seed).  Kept inline so the live inflight module can evolve with the
+# event-driven core without silently changing this reference.
+
+class InstState(enum.Enum):
+    """Lifecycle of an in-flight instruction in the window."""
+
+    DORMANT = "dormant"
+    WAITING = "waiting"
+    READY = "ready"
+    MEM_BLOCKED = "memblk"
+    EXECUTING = "exec"
+    DONE = "done"
+    SQUASHED = "squashed"
+
+
+class FetchGroup:
+    """Shared bookkeeping for all instructions of one fetch."""
+
+    __slots__ = ("fetch_id", "cycle", "actual_path", "retired_any")
+
+    def __init__(self, fetch_id: int, cycle: int):
+        self.fetch_id = fetch_id
+        self.cycle = cycle
+        self.actual_path: List[bool] = []
+        self.retired_any = False
+
+
+class Checkpoint:
+    """A checkpoint-repair snapshot taken at a fetch-block boundary."""
+
+    __slots__ = ("regs", "rename", "ghr_before", "ras_state", "sq_len", "lq_len",
+                 "seq", "resume_pc")
+
+    def __init__(self, regs, rename, ghr_before, ras_state, sq_len, lq_len, seq,
+                 resume_pc=None):
+        self.regs = regs
+        self.rename = rename
+        self.ghr_before = ghr_before
+        self.ras_state = ras_state
+        self.sq_len = sq_len
+        self.lq_len = lq_len
+        self.seq = seq
+        self.resume_pc = resume_pc
+
+
+class InFlight:
+    """One instruction in the machine's window."""
+
+    __slots__ = (
+        "seq", "inst", "group", "state", "fu",
+        "pending_srcs", "dependents", "cp_snapshot",
+        "next_pc", "taken", "mem_addr", "value", "dest",
+        "pred_record", "predicted_taken", "promoted", "static_dir",
+        "predicted_next", "checkpoint", "inactive_buffer",
+        "store_blockers", "forward_from", "addr_known",
+        "fetch_cycle", "dispatch_cycle", "complete_cycle",
+        "is_active",
+    )
+
+    def __init__(self, seq: int, inst, group: FetchGroup, fetch_cycle: int):
+        self.seq = seq
+        self.inst = inst
+        self.group = group
+        self.state = InstState.WAITING
+        self.fu = -1
+        self.pending_srcs = 0
+        self.dependents: List["InFlight"] = []
+        self.next_pc: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.mem_addr: Optional[int] = None
+        self.value: Optional[int] = None
+        self.dest: Optional[int] = None
+        self.pred_record = None
+        self.cp_snapshot = None
+        self.predicted_taken: Optional[bool] = None
+        self.promoted = False
+        self.static_dir: Optional[bool] = None
+        self.predicted_next: Optional[int] = None
+        self.checkpoint: Optional[Checkpoint] = None
+        self.inactive_buffer = None
+        self.store_blockers = 0
+        self.forward_from: Optional["InFlight"] = None
+        self.addr_known = False
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = -1
+        self.complete_cycle = -1
+        self.is_active = True
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is InstState.SQUASHED
+
+
+@dataclass
+class MachineResult:
+    """End-to-end statistics of one machine run."""
+
+    benchmark: str
+    config: MachineConfig
+    cycles: int = 0
+    retired: int = 0
+    fetches: int = 0
+    cycle_accounting: Counter = field(default_factory=Counter)
+    # branches (retired, correct-path only)
+    cond_branches: int = 0
+    promoted_branches: int = 0
+    cond_mispredicts: int = 0
+    promoted_faults: int = 0
+    indirect_jumps: int = 0
+    indirect_mispredicts: int = 0
+    # resolution times of mispredicted branches (fetch -> redirect)
+    resolution_time_sum: int = 0
+    resolution_count: int = 0
+    # memory behaviour
+    load_forwards: int = 0
+    dcache_accesses: int = 0
+    # inactive issue
+    inactive_issued: int = 0       # instructions issued dormant
+    dormant_activations: int = 0   # dormant instructions activated by recovery
+    # structures
+    tc_hits: int = 0
+    tc_misses: int = 0
+    l1i_misses: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    fill_reasons: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_mispredicted_branches(self) -> int:
+        return self.cond_mispredicts + self.promoted_faults + self.indirect_mispredicts
+
+    @property
+    def avg_resolution_time(self) -> float:
+        if not self.resolution_count:
+            return 0.0
+        return self.resolution_time_sum / self.resolution_count
+
+    @property
+    def mispredict_lost_cycles(self) -> int:
+        return self.cycle_accounting[CycleCategory.BRANCH_MISSES]
+
+
+class Machine:
+    """One configured machine bound to one program."""
+
+    def __init__(self, program: Program, config: MachineConfig,
+                 max_instructions: Optional[int] = 100_000, engine=None):
+        self.program = program
+        self.config = config
+        self.max_instructions = max_instructions
+        if engine is None:
+            engine = build_engine(program, config.frontend, memory_config=config.memory)
+        else:
+            # A functionally warmed engine: predictors, caches and bias
+            # table stay trained, but the speculative fetch state must
+            # match a machine starting at the program entry.
+            engine.restore((0, ()))
+        self.engine = engine
+        self.fill_unit = getattr(self.engine, "fill_unit", None)
+        core = config.core
+
+        # Speculative architectural state (dispatch-order functional execution).
+        self.spec_regs = [0] * NUM_REGS
+        self.spec_regs[REG_SP] = STACK_BASE
+        self.memory_image: Dict[int, int] = dict(program.data)
+        self.rename: List[Optional[InFlight]] = [None] * NUM_REGS
+        self.store_queue: List[InFlight] = []
+        self.load_queue: List[InFlight] = []
+        # Committed architectural state, maintained at retire.  Only used to
+        # reconstruct speculative state when a recovery has no live
+        # checkpoint to restore (rare: promoted fault before any boundary).
+        self.arch_regs = list(self.spec_regs)
+        self.arch_ghr = 0
+        self.arch_ras: List[int] = []
+
+        # Window structures.
+        self.rob: deque = deque()
+        self.rs_count = [0] * core.n_fus
+        self.ready_heaps: List[list] = [[] for _ in range(core.n_fus)]
+        self.completions: Dict[int, List[InFlight]] = {}
+        self.checkpoints: List[Tuple[int, Checkpoint]] = []  # (seq, cp), sorted
+        self.blocked_loads: List[InFlight] = []
+
+        # Fetch state.
+        self.pc = program.entry
+        self.cycle = 0
+        self.seq = 0
+        self.fetch_id = 0
+        self.halted = False
+        self.redirect_bubble = 0
+        self.icache_stall = 0
+        self.pending_fetch: Optional[Tuple[FetchResult, FetchGroup]] = None
+        self.dispatch_queue: deque = deque()  # InFlights awaiting dispatch slots
+        self.trap_pending: Optional[int] = None     # seq of in-flight trap
+        self.misfetch_waiting: Optional[int] = None  # seq of unresolved JR
+        self.fault_redirect_delay = 0
+
+        self.result = MachineResult(benchmark=program.name, config=config)
+        # Reusable store-effect capture buffer for dispatch-time functional
+        # execution: one list + one lambda per dispatched instruction was a
+        # measurable allocation cost in the dispatch hot loop.
+        self._store_capture: List[Tuple[int, int]] = []
+        self._fetch_cycle_groups: List[Tuple[int, FetchGroup]] = []
+        self._mem_waiters: Dict[int, List[InFlight]] = {}  # store seq -> loads
+        # Sequence numbers after which the fill unit's pending segment is
+        # cut: recoveries re-synchronize filling with fetch alignment, but
+        # the cut must land where the *retire* stream reaches the
+        # recovered branch, not where the out-of-order resolution happened.
+        self._fill_cuts: set = set()
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> MachineResult:
+        core = self.config.core
+        max_cycles = 200 * (self.max_instructions or 100_000)
+        while not self.halted and self.cycle < max_cycles:
+            self.cycle += 1
+            self._retire(core.retire_width)
+            self._complete()
+            self._schedule()
+            self._dispatch(core.issue_width)
+            self._fetch()
+        return self._finish()
+
+    # ---------------------------------------------------------------- retire
+
+    def _retire(self, width: int) -> None:
+        retired = 0
+        rob = self.rob
+        while rob and retired < width:
+            head = rob[0]
+            if head.state is InstState.SQUASHED:
+                rob.popleft()
+                continue
+            if head.state is not InstState.DONE or not head.is_active:
+                break
+            rob.popleft()
+            retired += 1
+            self._commit(head)
+            if self.halted:
+                break
+
+    def _commit(self, rec: InFlight) -> None:
+        result = self.result
+        result.retired += 1
+        rec.group.retired_any = True
+        inst = rec.inst
+        opclass = inst.op.opclass
+        if rec.dest is not None:
+            self.arch_regs[rec.dest] = rec.value
+        if self.fill_unit is not None:
+            self.fill_unit.retire(inst, rec.taken)
+            if rec.seq in self._fill_cuts:
+                self._fill_cuts.discard(rec.seq)
+                self.fill_unit.note_recovery()
+        if opclass is OpClass.STORE:
+            self.memory_image[rec.mem_addr] = rec.value
+            if self.store_queue and self.store_queue[0] is rec:
+                self.store_queue.pop(0)
+            else:  # pragma: no cover - defensive
+                self.store_queue.remove(rec)
+        elif opclass is OpClass.LOAD:
+            if self.load_queue and self.load_queue[0] is rec:
+                self.load_queue.pop(0)
+            elif rec in self.load_queue:
+                self.load_queue.remove(rec)
+        elif opclass is OpClass.COND_BRANCH:
+            self.arch_ghr = ((self.arch_ghr << 1) | int(rec.taken)) & self.engine.ghr.mask
+            if rec.promoted:
+                result.promoted_branches += 1
+            else:
+                result.cond_branches += 1
+                if rec.pred_record is not None:
+                    self.engine.train_branch(
+                        rec.pred_record, rec.taken, tuple(rec.group.actual_path)
+                    )
+                    rec.group.actual_path.append(rec.taken)
+        elif opclass is OpClass.CALL:
+            self.arch_ras.append(inst.fall_through)
+        elif opclass is OpClass.RETURN:
+            if self.arch_ras:
+                self.arch_ras.pop()
+        elif opclass is OpClass.INDIRECT:
+            result.indirect_jumps += 1
+            self.engine.indirect.update(inst.addr, rec.next_pc)
+        elif opclass is OpClass.TRAP:
+            if self.trap_pending == rec.seq:
+                self.trap_pending = None
+        elif opclass is OpClass.HALT:
+            self.halted = True
+        self._drop_checkpoint(rec)
+        if self.max_instructions is not None and result.retired >= self.max_instructions:
+            self.halted = True
+
+    def _drop_checkpoint(self, rec: InFlight) -> None:
+        if rec.checkpoint is not None:
+            for i, (seq, _cp) in enumerate(self.checkpoints):
+                if seq == rec.seq:
+                    del self.checkpoints[i]
+                    break
+            rec.checkpoint = None
+
+    # -------------------------------------------------------------- complete
+
+    def _complete(self) -> None:
+        done = self.completions.pop(self.cycle, None)
+        if not done:
+            return
+        for rec in done:
+            if rec.state is InstState.SQUASHED:
+                continue
+            rec.state = InstState.DONE
+            rec.complete_cycle = self.cycle
+            for dep in rec.dependents:
+                if dep.state is InstState.WAITING:
+                    dep.pending_srcs -= 1
+                    if dep.pending_srcs <= 0:
+                        self._make_ready(dep)
+            rec.dependents = []
+            opclass = rec.inst.op.opclass
+            if opclass is OpClass.STORE:
+                rec.addr_known = True
+                self._wake_store_waiters(rec)
+            elif opclass is OpClass.COND_BRANCH:
+                self._resolve_branch(rec)
+            elif opclass in (OpClass.INDIRECT, OpClass.RETURN):
+                self._resolve_indirect(rec)
+            if self.misfetch_waiting == rec.seq:
+                self.misfetch_waiting = None
+                self.pc = rec.next_pc
+
+    def _wake_store_waiters(self, store: InFlight) -> None:
+        waiters = self._mem_waiters.pop(store.seq, None)
+        if waiters:
+            for load in waiters:
+                if load.state is InstState.MEM_BLOCKED:
+                    self._make_ready(load)
+        if self.blocked_loads:
+            still_blocked = []
+            for load in self.blocked_loads:
+                if load.state is not InstState.MEM_BLOCKED:
+                    continue
+                if self._older_unknown_store(load) is None:
+                    self._make_ready(load)
+                else:
+                    still_blocked.append(load)
+            self.blocked_loads = still_blocked
+
+    def _make_ready(self, rec: InFlight) -> None:
+        rec.state = InstState.READY
+        heapq.heappush(self.ready_heaps[rec.fu], (rec.seq, rec))
+
+    # --------------------------------------------------------- branch repair
+
+    def _resolve_branch(self, rec: InFlight) -> None:
+        actual = rec.taken
+        if rec.promoted:
+            predicted = rec.static_dir
+        else:
+            predicted = rec.predicted_taken
+        if predicted == actual:
+            if rec.inactive_buffer:
+                for dormant in rec.inactive_buffer:
+                    self._squash_one(dormant)
+                rec.inactive_buffer = None
+            return
+        # Mispredicted.  Track stats, then repair.
+        self.result.resolution_time_sum += self.cycle + REDIRECT_BUBBLE - rec.fetch_cycle
+        self.result.resolution_count += 1
+        if rec.promoted:
+            self.result.promoted_faults += 1
+            self._recover_fault(rec)
+        else:
+            self.result.cond_mispredicts += 1
+            self._recover_mispredict(rec)
+
+    def _recover_mispredict(self, branch: InFlight) -> None:
+        """Checkpoint repair at the branch's own checkpoint."""
+        cp = branch.checkpoint
+        assert cp is not None, "dynamic branch without checkpoint"
+        self._restore(cp)
+        self.engine.ghr.push(branch.taken)
+        buffer = branch.inactive_buffer
+        branch.inactive_buffer = None
+        activate = bool(buffer) and buffer[0].inst.addr == branch.next_pc
+        exempt = frozenset(rec.seq for rec in buffer) if activate else frozenset()
+        self._squash_younger(branch.seq, exempt=exempt)
+        self._fill_cuts.add(branch.seq)
+        # The checkpoint stays live until the branch retires; a later fault
+        # rolling back to it must resume along the now-known-correct path.
+        cp.resume_pc = branch.next_pc
+        if activate:
+            redirect = self._activate_dormant(buffer)
+        else:
+            redirect = branch.next_pc
+        self.pc = redirect
+        self.redirect_bubble = REDIRECT_BUBBLE
+        self._clear_fetch_state()
+
+    def _recover_fault(self, branch: InFlight) -> None:
+        """Promoted-branch fault: back up to the *previous* checkpoint.
+
+        The machine restores the nearest older checkpoint, squashes
+        everything younger than it (including correct-path work in the
+        faulting atomic unit), and refetches from the checkpoint's resume
+        point with a one-shot direction override installed so the branch
+        executes correctly this time.
+        """
+        cp_entry = None
+        for seq, cp in reversed(self.checkpoints):
+            if seq < branch.seq:
+                cp_entry = (seq, cp)
+                break
+        if branch.inactive_buffer:
+            for dormant in branch.inactive_buffer:
+                self._squash_one(dormant)
+            branch.inactive_buffer = None
+        if isinstance(self.engine, TraceFetchEngine):
+            self.engine.add_fault_override(branch.inst.addr, branch.taken)
+        if cp_entry is None:
+            # No older checkpoint alive (fault very early in a fetch
+            # burst): fall back to branch-local recovery.
+            self._restore_at_branch(branch)
+            self.pc = branch.next_pc
+        else:
+            seq, cp = cp_entry
+            owner = self._find_in_rob(seq)
+            self._fill_cuts.add(seq)
+            self._restore(cp)
+            if owner is not None and owner.inst.op.is_cond_branch:
+                if owner.state is InstState.DONE:
+                    self.engine.ghr.push(owner.taken)
+                else:
+                    self.engine.ghr.push(
+                        owner.static_dir if owner.promoted else owner.predicted_taken
+                    )
+            self._squash_younger(seq)
+            self.pc = cp.resume_pc if cp.resume_pc is not None else branch.next_pc
+        self.redirect_bubble = REDIRECT_BUBBLE + FAULT_EXTRA_PENALTY
+        self._clear_fetch_state()
+
+    def _restore_at_branch(self, branch: InFlight) -> None:
+        """Recovery at a branch without its own checkpoint.
+
+        Reconstructs speculative state by replaying the window on top of
+        the committed architectural state: registers and rename from every
+        live instruction up to the branch, global history and return
+        address stack from the in-flight control instructions.
+        """
+        regs = list(self.arch_regs)
+        rename: List[Optional[InFlight]] = [None] * NUM_REGS
+        ghr = self.arch_ghr
+        ras = list(self.arch_ras)
+        for rec in self.rob:
+            if rec.seq > branch.seq or rec.squashed or not rec.is_active:
+                continue
+            if rec.dest is not None:
+                regs[rec.dest] = rec.value
+                rename[rec.dest] = rec
+            op = rec.inst.op
+            if op.is_cond_branch:
+                fetched_dir = rec.static_dir if rec.promoted else rec.predicted_taken
+                if rec.seq == branch.seq:
+                    fetched_dir = rec.taken  # the repair pushes the actual outcome
+                ghr = ((ghr << 1) | int(bool(fetched_dir))) & self.engine.ghr.mask
+            elif op.opclass is OpClass.CALL:
+                ras.append(rec.inst.fall_through)
+            elif op.opclass is OpClass.RETURN and ras:
+                ras.pop()
+        self.spec_regs = regs
+        self.rename = rename
+        self.engine.ghr.restore(ghr)
+        self.engine.ras.restore(tuple(ras))
+        self._truncate_mem_queues(branch.seq)
+        self._rescan_mem_blocked()
+        self._squash_younger(branch.seq)
+
+    def _resolve_indirect(self, rec: InFlight) -> None:
+        """JR / RET target verification."""
+        if rec.predicted_next is None:
+            # Misfetch: fetch has been stalled on this jump; _complete
+            # redirects via misfetch_waiting.
+            return
+        if rec.predicted_next == rec.next_pc:
+            return
+        self.result.indirect_mispredicts += 1
+        self.result.resolution_time_sum += self.cycle + REDIRECT_BUBBLE - rec.fetch_cycle
+        self.result.resolution_count += 1
+        cp = rec.checkpoint
+        self._fill_cuts.add(rec.seq)
+        if cp is not None:
+            self._restore(cp)
+            self._squash_younger(rec.seq)
+            cp.resume_pc = rec.next_pc
+        else:  # pragma: no cover - indirect fetch-enders always checkpoint
+            self._restore_at_branch(rec)
+        self.pc = rec.next_pc
+        self.redirect_bubble = REDIRECT_BUBBLE
+        self._clear_fetch_state()
+
+    def _restore(self, cp: Checkpoint) -> None:
+        self.spec_regs = list(cp.regs)
+        self.rename = list(cp.rename)
+        self.engine.ghr.restore(cp.ghr_before)
+        self.engine.ras.restore(cp.ras_state)
+        self._truncate_mem_queues(cp.seq)
+        self._rescan_mem_blocked()
+
+    def _truncate_mem_queues(self, seq: int) -> None:
+        """Drop store/load-queue entries younger than ``seq``.
+
+        Truncation is by sequence number, not by remembered length: older
+        entries may have retired from the queue front since the checkpoint
+        was taken.
+        """
+        keep = []
+        for store in self.store_queue:
+            if store.seq <= seq:
+                keep.append(store)
+            else:
+                store.addr_known = True  # squashed; stop blocking loads
+        self.store_queue = keep
+        self.load_queue = [load for load in self.load_queue if load.seq <= seq]
+
+    def _rescan_mem_blocked(self) -> None:
+        """Re-evaluate every memory-blocked load after a recovery.
+
+        The store a load was waiting on may have been squashed; waking the
+        loads and letting the scheduler re-run its checks is always safe.
+        """
+        waiting = list(self.blocked_loads)
+        for loads in self._mem_waiters.values():
+            waiting.extend(loads)
+        self.blocked_loads = []
+        self._mem_waiters = {}
+        for load in waiting:
+            if load.state is InstState.MEM_BLOCKED:
+                self._make_ready(load)
+
+    def _squash_younger(self, seq: int, exempt: frozenset = frozenset()) -> None:
+        """Kill everything younger than ``seq`` except exempted sequence
+        numbers (an inactive buffer about to be activated)."""
+        for rec in self.rob:
+            if rec.seq > seq and rec.seq not in exempt \
+                    and rec.state is not InstState.SQUASHED:
+                self._squash_one(rec)
+        # Anything still waiting to dispatch is on the wrong path too;
+        # exempted records leave the queue and are force-dispatched by
+        # dormant activation.
+        for rec in self.dispatch_queue:
+            if rec.seq not in exempt and rec.state is not InstState.SQUASHED:
+                self._squash_one(rec)
+        self.dispatch_queue.clear()
+        self.checkpoints = [(s, c) for s, c in self.checkpoints if s <= seq]
+        if self.trap_pending is not None and self.trap_pending > seq:
+            self.trap_pending = None
+        if self.misfetch_waiting is not None and self.misfetch_waiting > seq:
+            self.misfetch_waiting = None
+
+    def _squash_one(self, rec: InFlight) -> None:
+        previous = rec.state
+        rec.state = InstState.SQUASHED
+        rec.dependents = []
+        rec.checkpoint = None
+        if rec.inactive_buffer:
+            for dormant in rec.inactive_buffer:
+                if dormant.state is not InstState.SQUASHED:
+                    self._squash_one(dormant)
+            rec.inactive_buffer = None
+        in_window = rec.dispatch_cycle >= 0
+        if in_window and previous in (
+            InstState.DORMANT, InstState.WAITING, InstState.READY, InstState.MEM_BLOCKED
+        ):
+            self.rs_count[rec.fu] -= 1
+
+    def _find_in_rob(self, seq: int) -> Optional[InFlight]:
+        for rec in reversed(self.rob):
+            if rec.seq == seq:
+                return rec
+            if rec.seq < seq:
+                return None
+        return None
+
+    def _clear_fetch_state(self) -> None:
+        self.pending_fetch = None
+        self.icache_stall = 0
+
+    def _activate_dormant(self, buffer: List[InFlight]) -> int:
+        """Wake inactively issued instructions after their branch
+        mispredicted in their favour; returns the fetch resume address."""
+        resume = buffer[-1].inst.addr + 1
+        core = self.config.core
+        for rec in buffer:
+            if rec.state is InstState.SQUASHED and rec.dispatch_cycle >= 0:
+                # An *older* recovery (e.g. a promoted-branch fault rolling
+                # back past this fetch) squashed the buffer while its branch
+                # was still unresolved.  The entry is still in the ROB at
+                # the right position: resurrect it in place.
+                self.rs_count[rec.seq % core.n_fus] += 1
+            if rec.dispatch_cycle < 0:
+                # Still in (or squashed out of) the dispatch queue: give it
+                # its window slot now — it issues as part of the recovery.
+                rec.fu = rec.seq % core.n_fus
+                self.rs_count[rec.fu] += 1
+                self.rob.append(rec)
+                rec.dispatch_cycle = self.cycle
+            rec.is_active = True
+            self._wire_and_execute(rec)
+            self.result.dormant_activations += 1
+            resume = rec.next_pc
+            inst = rec.inst
+            if inst.op.is_cond_branch:
+                # The embedded trace direction serves as the prediction
+                # (these branches were never dynamically predicted).
+                # Promoted branches do not get checkpoints, matching the
+                # dispatch policy.
+                if not rec.promoted:
+                    rec.predicted_taken = rec.static_dir
+                    self._checkpoint_for(rec)
+                self.engine.ghr.push(rec.static_dir)
+            elif inst.op is Opcode.CALL:
+                self.engine.ras.push(inst.fall_through)
+        return resume
+
+    # -------------------------------------------------------------- schedule
+
+    def _schedule(self) -> None:
+        core = self.config.core
+        for fu in range(core.n_fus):
+            heap = self.ready_heaps[fu]
+            issued = False
+            while heap and not issued:
+                _seq, rec = heapq.heappop(heap)
+                if rec.state is not InstState.READY:
+                    continue  # squashed or stale entry
+                if rec.inst.op.is_load:
+                    verdict = self._try_schedule_load(rec)
+                    if verdict is None:
+                        continue  # blocked; parked with the memory scheduler
+                    latency = verdict
+                else:
+                    latency = self._latency_of(rec)
+                rec.state = InstState.EXECUTING
+                self.rs_count[fu] -= 1
+                self.completions.setdefault(self.cycle + latency, []).append(rec)
+                issued = True
+
+    def _latency_of(self, rec: InFlight) -> int:
+        core = self.config.core
+        opclass = rec.inst.op.opclass
+        if opclass is OpClass.MUL:
+            return core.mul_latency
+        return core.alu_latency
+
+    def _older_unknown_store(self, load: InFlight) -> Optional[InFlight]:
+        for store in reversed(self.store_queue):
+            if store.seq >= load.seq or store.squashed:
+                continue
+            if not store.addr_known and store.state is not InstState.DONE:
+                return store
+        return None
+
+    def _youngest_older_matching_store(self, load: InFlight) -> Optional[InFlight]:
+        for store in reversed(self.store_queue):
+            if store.seq >= load.seq or store.squashed:
+                continue
+            if store.mem_addr == load.mem_addr:
+                return store
+        return None
+
+    def _try_schedule_load(self, load: InFlight) -> Optional[int]:
+        """Memory scheduling for a load; returns latency or None if blocked."""
+        if not self.config.core.perfect_disambiguation:
+            blocker = self._older_unknown_store(load)
+            if blocker is not None:
+                load.state = InstState.MEM_BLOCKED
+                self.blocked_loads.append(load)
+                return None
+        match = self._youngest_older_matching_store(load)
+        if match is not None:
+            if match.state is not InstState.DONE:
+                load.state = InstState.MEM_BLOCKED
+                self._mem_waiters.setdefault(match.seq, []).append(load)
+                return None
+            self.result.load_forwards += 1
+            return 1
+        self.result.dcache_accesses += 1
+        return self.engine.memory.data_latency(load.mem_addr)
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, width: int) -> None:
+        dispatched = 0
+        checkpoints_this_cycle = 0
+        core = self.config.core
+        queue = self.dispatch_queue
+        while queue and dispatched < width:
+            rec = queue[0]
+            fu = rec.seq % core.n_fus
+            if self.rs_count[fu] >= core.rs_per_fu:
+                break  # window full
+            # A checkpoint accompanies every fetch-block boundary: each
+            # dynamically predicted branch and the end of each fetch.
+            needs_cp = rec.is_active and (
+                (rec.inst.op.is_cond_branch and not rec.promoted)
+                or rec.predicted_next is not None
+            )
+            if needs_cp and (
+                # Reserve three checkpoints for dormant activation: an
+                # inactive buffer holds at most three dynamic branches and
+                # its checkpoints are created during recovery, outside the
+                # dispatch stage's budget check.
+                len(self.checkpoints) >= core.max_checkpoints - 3
+                or checkpoints_this_cycle > core.checkpoints_per_cycle
+            ):
+                break  # out of checkpoint resources; resume next cycle
+            queue.popleft()
+            rec.fu = fu
+            self.rs_count[fu] += 1
+            self.rob.append(rec)
+            rec.dispatch_cycle = self.cycle
+            dispatched += 1
+            if not rec.is_active:
+                rec.state = InstState.DORMANT
+                continue
+            self._wire_and_execute(rec)
+            if needs_cp:
+                self._checkpoint_for(rec)
+                checkpoints_this_cycle += 1
+
+    def _wire_and_execute(self, rec: InFlight) -> None:
+        """Rename, functionally execute, and queue one instruction."""
+        inst = rec.inst
+        rename = self.rename
+        pending = 0
+        for reg in inst.src_regs():
+            producer = rename[reg]
+            if producer is not None and producer.state is not InstState.DONE \
+                    and producer.state is not InstState.SQUASHED:
+                pending += 1
+                producer.dependents.append(rec)
+        rec.pending_srcs = pending
+
+        captured = self._store_capture
+        captured.clear()
+        result = step_instruction(inst, self.spec_regs, self._spec_read,
+                                  self._capture_store)
+        rec.next_pc = result.next_pc
+        rec.taken = result.taken
+        rec.mem_addr = result.mem_addr
+        rec.value = result.value
+        rec.dest = result.dest
+        if captured:
+            rec.mem_addr, rec.value = captured[0]
+        if rec.dest is not None:
+            rename[rec.dest] = rec
+        op = inst.op
+        if op.is_store:
+            self.store_queue.append(rec)
+        elif op.is_load:
+            self.load_queue.append(rec)
+        if pending == 0:
+            self._make_ready(rec)
+        else:
+            rec.state = InstState.WAITING
+
+    def _capture_store(self, addr: int, value: int) -> None:
+        self._store_capture.append((addr, value))
+
+    def _spec_read(self, addr: int) -> int:
+        for store in reversed(self.store_queue):
+            if store.mem_addr == addr and not store.squashed:
+                return store.value
+        return self.memory_image.get(addr, 0)
+
+    def _checkpoint_for(self, rec: InFlight) -> None:
+        if rec.cp_snapshot is not None:
+            ghr_before, ras_state = rec.cp_snapshot
+        else:
+            ghr_before = self.engine.ghr.value
+            ras_state = self.engine.ras.snapshot()
+        if rec.inst.op.is_cond_branch and rec.predicted_taken is not None:
+            resume_pc = rec.inst.target if rec.predicted_taken else rec.inst.fall_through
+        elif rec.inst.op.is_cond_branch and rec.static_dir is not None:
+            # Promoted branch: its static prediction is the fetched path.
+            resume_pc = rec.inst.target if rec.static_dir else rec.inst.fall_through
+        elif rec.predicted_next is not None:
+            resume_pc = rec.predicted_next
+        else:
+            resume_pc = rec.inst.fall_through
+        cp = Checkpoint(
+            regs=list(self.spec_regs),
+            rename=list(self.rename),
+            ghr_before=ghr_before,
+            ras_state=ras_state,
+            sq_len=len(self.store_queue),
+            lq_len=len(self.load_queue),
+            seq=rec.seq,
+            resume_pc=resume_pc,
+        )
+        rec.checkpoint = cp
+        self.checkpoints.append((rec.seq, cp))
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self) -> None:
+        if self.halted:
+            return
+        accounting = self.result.cycle_accounting
+        if self.trap_pending is not None:
+            accounting[CycleCategory.TRAPS] += 1
+            return
+        if self.misfetch_waiting is not None:
+            accounting[CycleCategory.MISFETCHES] += 1
+            return
+        if self.redirect_bubble > 0:
+            self.redirect_bubble -= 1
+            accounting[CycleCategory.BRANCH_MISSES] += 1
+            return
+        if self.icache_stall > 0:
+            self.icache_stall -= 1
+            accounting[CycleCategory.CACHE_MISSES] += 1
+            if self.icache_stall == 0 and self.pending_fetch is not None:
+                result, group = self.pending_fetch
+                self.pending_fetch = None
+                self._enqueue_fetch(result, group)
+            return
+        if self.dispatch_queue:
+            accounting[CycleCategory.FULL_WINDOW] += 1
+            return
+
+        result = self.engine.fetch(self.pc)
+        if not result.active:
+            # Wrong-path fetch ran off the code image; spin until repair.
+            accounting[CycleCategory.BRANCH_MISSES] += 1
+            return
+        self.fetch_id += 1
+        group = FetchGroup(self.fetch_id, self.cycle)
+        self.result.fetches += 1
+        if result.stall_cycles > 0:
+            self.icache_stall = result.stall_cycles
+            self.pending_fetch = (result, group)
+            accounting[CycleCategory.CACHE_MISSES] += 1
+            return
+        self._fetch_cycle_groups.append((self.cycle, group))
+        self._enqueue_fetch(result, group)
+
+    def _enqueue_fetch(self, result: FetchResult, group: FetchGroup) -> None:
+        records: List[InFlight] = []
+        for idx, inst in enumerate(result.active):
+            self.seq += 1
+            rec = InFlight(self.seq, inst, group, fetch_cycle=group.cycle)
+            if inst.op.is_cond_branch:
+                direction = result.active_dirs[idx]
+                if result.active_promoted[idx]:
+                    rec.promoted = True
+                    rec.static_dir = direction
+                else:
+                    rec.predicted_taken = direction
+                snapshot = result.control_snapshots.get(idx)
+                if snapshot is not None:
+                    rec.cp_snapshot = snapshot
+            records.append(rec)
+        # Attach the end-of-fetch bookkeeping to the last instruction: the
+        # fetch's predicted successor doubles as the final block boundary's
+        # checkpoint resume point, and for indirect jumps/returns it is the
+        # target to verify at execute.
+        last = records[-1]
+        if result.next_pc is not None:
+            last.predicted_next = result.next_pc
+        dormant: List[InFlight] = []
+        if result.inactive:
+            for idx, inst in enumerate(result.inactive):
+                self.seq += 1
+                drec = InFlight(self.seq, inst, group, fetch_cycle=group.cycle)
+                drec.is_active = False
+                if inst.op.is_cond_branch:
+                    drec.static_dir = result.inactive_dirs[idx]
+                    drec.promoted = result.inactive_promoted[idx]
+                dormant.append(drec)
+            last.inactive_buffer = dormant
+            self.result.inactive_issued += len(dormant)
+        # Prediction records attach in order to the dynamic branches.
+        rec_iter = iter(result.pred_records)
+        for rec in records:
+            if rec.inst.op.is_cond_branch and not rec.promoted:
+                rec.pred_record = next(rec_iter, None)
+        self.dispatch_queue.extend(records)
+        self.dispatch_queue.extend(dormant)
+        if result.ends_with_trap:
+            for rec in records:
+                if rec.inst.op.opclass is OpClass.TRAP:
+                    self.trap_pending = rec.seq
+                    break
+        if result.next_pc is None:
+            self.misfetch_waiting = last.seq
+        else:
+            self.pc = result.next_pc
+
+    # ---------------------------------------------------------------- finish
+
+    def _finish(self) -> MachineResult:
+        result = self.result
+        result.cycles = self.cycle
+        # Deferred classification of fetch cycles: useful vs wrong-path.
+        for _cycle, group in self._fetch_cycle_groups:
+            if group.retired_any:
+                result.cycle_accounting[CycleCategory.USEFUL_FETCH] += 1
+            else:
+                result.cycle_accounting[CycleCategory.BRANCH_MISSES] += 1
+        if self.fill_unit is not None:
+            self.fill_unit.flush()
+            result.fill_reasons = dict(self.fill_unit.finalize_reasons)
+            if self.fill_unit.bias_table is not None:
+                result.promotions = self.fill_unit.bias_table.promotions
+                result.demotions = self.fill_unit.bias_table.demotions
+        if isinstance(self.engine, TraceFetchEngine):
+            result.tc_hits = self.engine.trace_cache.stats.hits
+            result.tc_misses = self.engine.trace_cache.stats.misses
+        result.l1i_misses = self.engine.memory.l1i.stats.misses
+        return result
+
+
+def simulate(program: Program, config: MachineConfig,
+             max_instructions: Optional[int] = 100_000) -> MachineResult:
+    """Convenience wrapper: build a machine, run it, return the result."""
+    return Machine(program, config, max_instructions=max_instructions).run()

@@ -10,24 +10,29 @@ Results are served from a two-level cache:
    simulator source fingerprint), so re-running an experiment script is
    warm across processes and across parallel workers.
 
+The oracle stream additionally persists as a compact binary trace file
+(:mod:`repro.experiments.tracefile`): it is computed at most once per
+(benchmark, length) machine-wide, and every other process memory-maps
+the stored trace instead of re-executing the program functionally.
+
 Run-length environment knobs (they compose):
 
 * ``REPRO_QUICK=1`` divides all run lengths by four (fast CI passes);
 * ``REPRO_SCALE=<float>`` applies an arbitrary multiplier on top.
 
-An unparseable ``REPRO_SCALE`` warns once and falls back to 1.0 — it
+An unparseable ``REPRO_SCALE`` warns once (via the resettable
+:mod:`repro.experiments.warnonce` registry) and falls back to 1.0 — it
 used to be silently ignored, which made typos look like real runs.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from typing import Dict, Optional, Tuple
 
 from repro.config import FrontEndConfig, MachineConfig
 from repro.core.machine import Machine, MachineResult
-from repro.experiments import diskcache
+from repro.experiments import diskcache, tracefile, warnonce
 from repro.experiments.cachekey import cache_key
 from repro.experiments.serialize import (
     frontend_result_from_dict,
@@ -45,9 +50,6 @@ _oracles: Dict[Tuple[str, int], list] = {}
 _frontend: Dict[Tuple[str, FrontEndConfig, int], FrontEndResult] = {}
 _machine: Dict[Tuple[str, MachineConfig, int], MachineResult] = {}
 
-_scale_warning_emitted = False
-
-
 def quick_scale() -> float:
     """Run-length multiplier from the environment.
 
@@ -55,21 +57,17 @@ def quick_scale() -> float:
     top of it, so ``REPRO_QUICK=1 REPRO_SCALE=0.5`` runs at x0.125 —
     they used to be exclusive, with QUICK silently masking SCALE.
     """
-    global _scale_warning_emitted
     scale = 1.0
     raw = os.environ.get("REPRO_SCALE")
     if raw is not None:
         try:
             scale = float(raw)
         except ValueError:
-            if not _scale_warning_emitted:
-                _scale_warning_emitted = True
-                warnings.warn(
-                    f"ignoring invalid REPRO_SCALE={raw!r} (not a number); "
-                    "using 1.0",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+            warnonce.warn_once(
+                "repro-scale",
+                f"ignoring invalid REPRO_SCALE={raw!r} (not a number); "
+                "using 1.0",
+            )
             scale = 1.0
     if os.environ.get("REPRO_QUICK"):
         scale *= 0.25
@@ -79,17 +77,18 @@ def quick_scale() -> float:
 def clear_caches(disk: bool = False) -> None:
     """Drop every memoized program, oracle and result.
 
-    With ``disk=True`` also purge the persistent on-disk result cache —
-    used by benchmarks that need genuinely cold runs.
+    With ``disk=True`` also purge the persistent on-disk result cache
+    and the stored oracle trace files — used by benchmarks that need
+    genuinely cold runs.
     """
-    global _scale_warning_emitted
     _programs.clear()
     _oracles.clear()
     _frontend.clear()
     _machine.clear()
-    _scale_warning_emitted = False
+    warnonce.reset()
     if disk:
         diskcache.purge()
+        tracefile.purge()
 
 
 def get_program(benchmark: str) -> Program:
@@ -112,13 +111,22 @@ def machine_length(benchmark: str) -> int:
 
 
 def get_oracle(benchmark: str, n: Optional[int] = None) -> list:
-    """Memoized correct-path instruction stream."""
+    """Memoized correct-path instruction stream.
+
+    Cold path: try the shared binary trace file first (mmap read — no
+    functional re-execution), and on a genuine miss compute the stream
+    once and persist it for every other process on the machine.
+    """
     if n is None:
         n = default_length(benchmark)
     key = (benchmark, n)
     oracle = _oracles.get(key)
     if oracle is None:
-        oracle = compute_oracle(get_program(benchmark), n)
+        program = get_program(benchmark)
+        oracle = tracefile.load_oracle(benchmark, n, program)
+        if oracle is None:
+            oracle = compute_oracle(program, n)
+            tracefile.store_oracle(benchmark, n, oracle)
         _oracles[key] = oracle
     return oracle
 

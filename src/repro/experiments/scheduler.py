@@ -8,19 +8,29 @@ time a builder iterates, every point it asks for is a memo hit.
 
 Scheduling decisions:
 
-* **Grouping.**  Points are grouped per benchmark and each group is one
-  pool task: the oracle (correct-path) instruction stream is shared by
-  every configuration of a benchmark, so computing it once per worker
-  amortizes it exactly as the in-process runner does.
+* **Per-point fan-out.**  Each simulation is its own pool task, handed
+  out **largest estimated cost first** (machine points cost roughly
+  four front-end points of the same length, plus their warmup).  The
+  old per-benchmark batching serialized every configuration of the
+  slowest benchmark on one worker, so total wall clock was bounded by
+  the largest *batch*; longest-first per-point scheduling bounds it by
+  the largest *point*.
+* **Shared oracle traces.**  What made batching attractive — computing
+  each benchmark's oracle stream once — is now handled by the binary
+  trace files (:mod:`repro.experiments.tracefile`): the parent
+  pre-writes every oracle a missing point needs, and workers
+  memory-map them instead of re-executing.
 * **Cache-first.**  The parent serves every point it can from the memo
   and disk caches before spawning anything; a fully warm grid never
   creates a pool.
 * **Degradation.**  ``jobs <= 1`` (the default on single-core boxes) or
-  a single-benchmark grid runs inline in the parent — same results,
-  no pickling, no process startup.
+  a single-point grid runs inline in the parent — same results, no
+  pickling, no process startup.
 
 Worker count resolution: explicit ``jobs`` argument, else ``REPRO_JOBS``
-from the environment, else ``os.cpu_count()``.
+from the environment, else ``os.cpu_count()``.  An unparseable
+``REPRO_JOBS`` warns once per process tree: workers inherit the parent's
+already-warned state through the pool initializer.
 
 Workers inherit ``REPRO_CACHE_DIR`` and write the disk cache themselves,
 so a parallel run leaves the same warm cache behind as a serial one.
@@ -29,16 +39,19 @@ so a parallel run leaves the same warm cache behind as a serial one.
 from __future__ import annotations
 
 import os
-import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import runner
+from repro.experiments import runner, tracefile, warnonce
 
 #: GridPoint.kind values.
 FRONTEND = "frontend"
 MACHINE = "machine"
+
+#: Relative cost of one simulated machine instruction versus one
+#: front-end instruction (the cycle-level core is roughly 4x slower).
+_MACHINE_COST_FACTOR = 4
 
 
 @dataclass(frozen=True)
@@ -77,14 +90,53 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             try:
                 jobs = int(raw)
             except ValueError:
-                warnings.warn(
+                warnonce.warn_once(
+                    "repro-jobs",
                     f"ignoring invalid REPRO_JOBS={raw!r} (not an integer)",
-                    RuntimeWarning,
-                    stacklevel=2,
                 )
     if jobs is None:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
+
+
+def _estimated_cost(point: GridPoint) -> int:
+    """Simulated-instruction cost estimate used for longest-first order.
+
+    Machine points pay the cycle-level core's slowdown on their measured
+    window plus an oracle-driven front-end warmup at the benchmark's
+    full default length; front-end points pay their length directly.
+    """
+    if point.kind == MACHINE:
+        cost = _MACHINE_COST_FACTOR * point.n
+        if point.warmup:
+            cost += runner.default_length(point.benchmark)
+        return cost
+    return point.n
+
+
+def _oracle_needs(point: GridPoint) -> List[Tuple[str, int]]:
+    """The (benchmark, length) oracle streams this point will consume."""
+    if point.kind == FRONTEND:
+        return [(point.benchmark, point.n)]
+    if point.warmup:
+        return [(point.benchmark, runner.default_length(point.benchmark))]
+    return []  # the core itself runs the program, not the oracle
+
+
+def _prewrite_traces(points: Sequence[GridPoint]) -> None:
+    """Compute each needed oracle once and persist its trace file, so
+    every worker memory-maps instead of functionally re-executing."""
+    needed = set()
+    for point in points:
+        needed.update(_oracle_needs(point))
+    for benchmark, n in sorted(needed):
+        runner.get_oracle(benchmark, n)  # computes + stores on miss
+
+
+def _worker_init(emitted_keys: Tuple[str, ...]) -> None:
+    """Pool initializer: inherit the parent's already-warned state so a
+    grid emits each environment diagnostic once, not once per worker."""
+    warnonce.seed(emitted_keys)
 
 
 def _run_point(point: GridPoint):
@@ -93,16 +145,6 @@ def _run_point(point: GridPoint):
         return runner.frontend_result(point.benchmark, point.config, point.n)
     return runner.machine_result(point.benchmark, point.config, point.n,
                                  warmup=point.warmup)
-
-
-def _run_batch(points: List[GridPoint]) -> list:
-    """Pool task: run one benchmark's points in a worker process.
-
-    Goes through the runner so the worker computes the benchmark's
-    program and oracle once, reuses them for every configuration in the
-    batch, and persists each result to the shared disk cache.
-    """
-    return [_run_point(point) for point in points]
 
 
 def _admit(point: GridPoint, result) -> None:
@@ -144,27 +186,29 @@ def run_grid(points: Sequence[GridPoint],
     if not misses:
         return results
 
-    groups: Dict[str, List[GridPoint]] = {}
-    for point in misses:
-        groups.setdefault(point.benchmark, []).append(point)
-
     n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(groups) <= 1:
+    if n_jobs <= 1 or len(misses) <= 1:
         for point in misses:
             results[point] = _run_point(point)
         return results
 
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(groups))) as pool:
-        futures = {pool.submit(_run_batch, batch): batch
-                   for batch in groups.values()}
+    if tracefile.enabled():
+        _prewrite_traces(misses)
+    # Longest first: with independent points, scheduling the most
+    # expensive work early minimizes the makespan straggler.
+    order = sorted(misses, key=_estimated_cost, reverse=True)
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(order)),
+                             initializer=_worker_init,
+                             initargs=(warnonce.snapshot(),)) as pool:
+        futures = {pool.submit(_run_point, point): point for point in order}
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                batch = futures[future]
-                for point, result in zip(batch, future.result()):
-                    _admit(point, result)
-                    results[point] = result
+                point = futures[future]
+                result = future.result()
+                _admit(point, result)
+                results[point] = result
     return results
 
 

@@ -1,0 +1,248 @@
+"""Compact binary oracle-trace files shared across processes.
+
+The oracle (correct-path) instruction stream is a pure function of the
+benchmark program and the run length, yet it is the single most expensive
+shared computation in a cold experiment grid: every worker process used
+to re-execute the program functionally before it could simulate anything.
+This module persists the stream as a versioned binary file so the oracle
+is computed **once per (benchmark, length) machine-wide**; every other
+process memory-maps the file read-only and rebuilds the in-memory stream
+with three C-level array copies instead of a functional re-execution.
+
+File layout (little-endian, word-addressed ISA):
+
+* 24-byte header: magic ``b"RPTR"``, format version (u32), record count
+  (u64), and a CRC32 of the three payload arrays (u32, for corruption
+  detection — a truncated or bit-flipped file must degrade to a cold
+  recompute, never to a wrong figure);
+* ``count`` u32 instruction addresses (``program.instructions[a].addr
+  == a``, so an address is also an index into the code image);
+* ``count`` direction bytes (0 = not taken, 1 = taken, 2 = not a
+  conditional branch);
+* ``count`` u32 correct-path successor addresses.
+
+Robustness mirrors :mod:`repro.experiments.diskcache`: writes are atomic
+(temp file + ``os.replace``), and unreadable, truncated, wrong-version or
+checksum-failing files are deleted and treated as misses.  Files live
+under ``<cache_dir>/traces`` (``$REPRO_CACHE_DIR`` aware) and their names
+fold in the benchmark profile and the simulator source fingerprint, so
+stale traces self-invalidate exactly like cached results.
+
+``REPRO_TRACE_FILES=0`` disables the layer (the in-process oracle memo
+in :mod:`repro.experiments.runner` keeps working).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from array import array
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import diskcache
+from repro.experiments.cachekey import canonical_json, code_fingerprint, profile_to_dict
+from repro.isa.program import Program
+
+_MAGIC = b"RPTR"
+#: Bump when the record layout changes; old files then fail the header
+#: check and are deleted rather than misread.
+TRACE_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sIQI")  # magic, version, count, payload crc32
+_SUFFIX = ".trace"
+
+#: Direction byte for "not a conditional branch" (oracle ``taken is None``).
+_NOT_BRANCH = 2
+#: Direction byte -> oracle ``taken`` value, and the set of legal bytes.
+_TAKEN = (False, True, None)
+_DIR_BYTES = bytes((0, 1, _NOT_BRANCH))
+
+#: array typecode with a 4-byte item ("I" on every mainstream platform).
+_U32 = next(tc for tc in ("I", "L") if array(tc).itemsize == 4)
+
+
+def enabled() -> bool:
+    """Is the trace-file layer on?  (``REPRO_TRACE_FILES=0`` turns it off.)"""
+    return os.environ.get("REPRO_TRACE_FILES", "1") not in ("0", "")
+
+
+def trace_dir() -> Path:
+    """Trace files live beside the result cache, under ``traces/``."""
+    return diskcache.cache_dir() / "traces"
+
+
+def trace_key(benchmark: str, n: int) -> str:
+    """Stable hex key for one benchmark's oracle at one run length.
+
+    Folds in the generation profile (same name, different parameters must
+    not collide) and the package source fingerprint (an ISA or workload
+    generator edit invalidates every stored trace).
+    """
+    material = {
+        "kind": "oracle-trace",
+        "format": TRACE_FORMAT_VERSION,
+        "benchmark": benchmark,
+        "profile": profile_to_dict(benchmark),
+        "n": n,
+        "code": code_fingerprint(),
+    }
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+def trace_path(benchmark: str, n: int) -> Path:
+    return trace_dir() / f"{trace_key(benchmark, n)}{_SUFFIX}"
+
+
+# ------------------------------------------------------------------ write
+
+def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
+    """Persist one oracle stream; returns the path, or None when disabled.
+
+    Atomic and failure-silent like the result cache: trace files are an
+    accelerator, so a full disk must not break an experiment run.
+    """
+    if not enabled():
+        return None
+    count = len(oracle)
+    addrs = array(_U32)
+    next_pcs = array(_U32)
+    dirs = bytearray(count)
+    addr_append = addrs.append
+    next_append = next_pcs.append
+    for i, (inst, taken, next_pc) in enumerate(oracle):
+        addr_append(inst.addr)
+        if taken is not None:
+            dirs[i] = 1 if taken else 0
+        else:
+            dirs[i] = _NOT_BRANCH
+        next_append(next_pc)
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        addrs.byteswap()
+        next_pcs.byteswap()
+    a_bytes = addrs.tobytes()
+    d_bytes = bytes(dirs)
+    p_bytes = next_pcs.tobytes()
+    crc = zlib.crc32(a_bytes)
+    crc = zlib.crc32(d_bytes, crc)
+    crc = zlib.crc32(p_bytes, crc)
+    directory = trace_dir()
+    path = trace_path(benchmark, n)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_HEADER.pack(_MAGIC, TRACE_FORMAT_VERSION,
+                                          count, crc))
+                handle.write(a_bytes)
+                handle.write(d_bytes)
+                handle.write(p_bytes)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    return path
+
+
+# ------------------------------------------------------------------- read
+
+def load_oracle(benchmark: str, n: int, program: Program) -> Optional[List[tuple]]:
+    """Rebuild an oracle stream from its trace file, or None on miss.
+
+    The file is memory-mapped read-only; the three payload arrays are
+    materialized with C-level ``array.frombytes`` copies and the stream's
+    ``(instruction, taken, next_pc)`` tuples are rebuilt by indexing the
+    shared code image (``instructions[a].addr == a``).  Any structural
+    problem — bad magic, version or checksum mismatch, truncation, an
+    address off the code image — deletes the file and returns None so a
+    corrupt trace can never shadow a future write.
+    """
+    if not enabled():
+        return None
+    path = trace_path(benchmark, n)
+    try:
+        with open(path, "rb") as handle:
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError):
+        return None
+    try:
+        try:
+            header = mm[:_HEADER.size]
+            magic, version, count, crc = _HEADER.unpack(header)
+            if magic != _MAGIC or version != TRACE_FORMAT_VERSION:
+                raise ValueError("bad magic or version")
+            a_off = _HEADER.size
+            d_off = a_off + 4 * count
+            p_off = d_off + count
+            end = p_off + 4 * count
+            if len(mm) != end:
+                raise ValueError("truncated or oversized payload")
+            if zlib.crc32(mm[a_off:end]) != crc:
+                raise ValueError("checksum mismatch")
+            addrs = array(_U32)
+            next_pcs = array(_U32)
+            addrs.frombytes(mm[a_off:d_off])
+            dirs = mm[d_off:p_off]
+            next_pcs.frombytes(mm[p_off:end])
+            if sys.byteorder != "little":  # pragma: no cover
+                addrs.byteswap()
+                next_pcs.byteswap()
+            instructions = program.instructions
+            if count and (max(addrs) >= len(instructions)
+                          or dirs.translate(None, _DIR_BYTES)):
+                raise ValueError("address or direction off the image")
+            # All-C reconstruction: three mapped columns zipped into the
+            # stream's (instruction, taken, next_pc) tuples.
+            return list(zip(map(instructions.__getitem__, addrs),
+                            map(_TAKEN.__getitem__, dirs),
+                            next_pcs))
+        finally:
+            mm.close()
+    except (ValueError, struct.error):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+# ------------------------------------------------------------------ admin
+
+def purge() -> int:
+    """Delete every trace file; returns the number removed."""
+    directory = trace_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob(f"*{_SUFFIX}"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def stats() -> dict:
+    """Trace-file count and total bytes on disk (for reporting)."""
+    directory = trace_dir()
+    entries = 0
+    size = 0
+    if directory.is_dir():
+        for path in directory.glob(f"*{_SUFFIX}"):
+            try:
+                size += path.stat().st_size
+                entries += 1
+            except OSError:
+                pass
+    return {"entries": entries, "bytes": size}

@@ -50,32 +50,47 @@ class PredRecord:
     predicted: bool
 
 
-@dataclass(slots=True)
 class FetchResult:
-    """One cycle's fetch."""
+    """One cycle's fetch.
 
-    pc: int
-    source: str                                  # "tc" or "icache"
-    active: List[Instruction] = field(default_factory=list)
-    #: per active instruction: the fetch path's direction for conditional
-    #: branches (promoted => static direction, dynamic => prediction);
-    #: None for non-branches.
-    active_dirs: List[Optional[bool]] = field(default_factory=list)
-    active_promoted: List[bool] = field(default_factory=list)
-    inactive: List[Instruction] = field(default_factory=list)
-    inactive_dirs: List[Optional[bool]] = field(default_factory=list)
-    inactive_promoted: List[bool] = field(default_factory=list)
-    pred_records: List[PredRecord] = field(default_factory=list)
-    divergence: bool = False       # trace path diverged from predicted path
-    next_pc: Optional[int] = None  # None => target unknown (misfetch)
-    stall_cycles: int = 0          # icache miss cycles before delivery
-    raw_reason: FetchReason = FetchReason.ICACHE
-    predictions_used: int = 0
-    ends_with_trap: bool = False
-    segment: Optional[TraceSegment] = None
-    #: position in ``active`` -> (ghr value before this branch's push, RAS
-    #: snapshot at that point).  Used by the core for checkpoint repair.
-    control_snapshots: dict = field(default_factory=dict)
+    A hand-rolled ``__slots__`` class rather than a dataclass: one is
+    constructed per fetch (the single hottest allocation in a front-end
+    simulation), and the engines fill the fields in directly, so the
+    constructor takes only the few values known up front.
+    """
+
+    __slots__ = (
+        "pc", "source", "active", "active_dirs", "active_promoted",
+        "inactive", "inactive_dirs", "inactive_promoted", "pred_records",
+        "divergence", "next_pc", "stall_cycles", "raw_reason",
+        "predictions_used", "ends_with_trap", "segment", "control_snapshots",
+    )
+
+    def __init__(self, pc: int, source: str, stall_cycles: int = 0,
+                 segment: Optional[TraceSegment] = None):
+        self.pc = pc
+        self.source = source                     # "tc" or "icache"
+        self.active: List[Instruction] = []
+        #: per active instruction: the fetch path's direction for
+        #: conditional branches (promoted => static direction, dynamic =>
+        #: prediction); None for non-branches.
+        self.active_dirs: List[Optional[bool]] = []
+        self.active_promoted: List[bool] = []
+        self.inactive: List[Instruction] = []
+        self.inactive_dirs: List[Optional[bool]] = []
+        self.inactive_promoted: List[bool] = []
+        self.pred_records: List[PredRecord] = []
+        self.divergence = False       # trace path diverged from predicted path
+        self.next_pc: Optional[int] = None  # None => target unknown (misfetch)
+        self.stall_cycles = stall_cycles    # icache miss cycles before delivery
+        self.raw_reason = FetchReason.ICACHE
+        self.predictions_used = 0
+        self.ends_with_trap = False
+        self.segment = segment
+        #: position in ``active`` -> (ghr value before this branch's push,
+        #: RAS snapshot at that point).  Used by the core for checkpoint
+        #: repair.
+        self.control_snapshots: dict = {}
 
     @property
     def size(self) -> int:
@@ -225,10 +240,108 @@ class TraceFetchEngine(_FrontEndBase):
         return chosen
 
     def _fetch_from_segment(self, pc: int, segment: TraceSegment) -> FetchResult:
+        events, dirs_tmpl, promoted_tmpl, promoted_addrs, tail = segment.fetch_plan()
+        fault_overrides = self._fault_overrides
+        if not fault_overrides or fault_overrides.keys().isdisjoint(promoted_addrs):
+            return self._fetch_from_plan(pc, segment, events, dirs_tmpl,
+                                         promoted_tmpl, tail)
+        return self._fetch_from_segment_slow(pc, segment)
+
+    def _fetch_from_plan(self, pc: int, segment: TraceSegment, events: list,
+                         dirs_tmpl: list, promoted_tmpl: list, tail: int) -> FetchResult:
+        """Segment fetch along the precomputed event plan (no pending fault
+        overrides, the overwhelmingly common case).
+
+        Only the control *events* are walked — per-position work is
+        replaced by slicing the segment's cached direction/promotion
+        templates, which is valid because a non-diverging fetch follows
+        exactly the embedded path and a diverging one follows it up to the
+        diverging branch.
+        """
         ghr = self.ghr
         ras = self.ras
         ghr_push = ghr.push
-        prediction = self.predictor.predict(pc, ghr.value)
+        # The predictor is consulted with the fetch-entry history, but only
+        # if the segment actually contains a dynamically predicted branch —
+        # fully promoted (or branch-free) segments skip the table walk.
+        ghr_at_entry = ghr.value
+        prediction = None
+        result = FetchResult(pc=pc, source="tc", segment=segment)
+        capture = self.capture_snapshots
+        snapshots = result.control_snapshots
+        ras_snap = None
+        instructions = segment.instructions
+        dyn_index = 0
+        divergence_pos = -1
+        diverging_predicted = False
+        for kind, pos, payload in events:
+            if kind == 0:
+                ras.push(payload)
+                ras_snap = None
+                continue
+            if capture:
+                if ras_snap is None:
+                    ras_snap = ras.snapshot()
+                snapshots[pos] = (ghr.value, ras_snap)
+            if kind == 1:
+                ghr_push(payload)
+            else:
+                direction, addr = payload
+                if prediction is None:
+                    prediction = self.predictor.predict(pc, ghr_at_entry)
+                predicted = prediction.taken[dyn_index]
+                result.pred_records.append(
+                    PredRecord(addr=addr, position=dyn_index,
+                               token=prediction.indices[dyn_index], predicted=predicted)
+                )
+                dyn_index += 1
+                ghr_push(predicted)
+                if predicted != direction:
+                    divergence_pos = pos
+                    diverging_predicted = predicted
+                    break
+        result.predictions_used = dyn_index
+        if divergence_pos >= 0:
+            cut = divergence_pos + 1
+            result.active = instructions[:cut]
+            dirs = dirs_tmpl[:cut]
+            dirs[divergence_pos] = diverging_predicted
+            result.active_dirs = dirs
+            result.active_promoted = promoted_tmpl[:cut]
+            result.divergence = True
+            diverging = instructions[divergence_pos]
+            result.next_pc = diverging.target if diverging_predicted else diverging.fall_through
+            result.raw_reason = FetchReason.PARTIAL_MATCH
+            # The remainder of the line issues inactively, along the
+            # segment's own (non-predicted) path.
+            if self.inactive_issue and cut < len(instructions):
+                result.inactive = instructions[cut:]
+                result.inactive_dirs = dirs_tmpl[cut:]
+                result.inactive_promoted = promoted_tmpl[cut:]
+            return result
+        result.active = instructions[:]
+        result.active_dirs = dirs_tmpl[:]
+        result.active_promoted = promoted_tmpl[:]
+        result.raw_reason = _REASON_FROM_FINALIZE[segment.finalize_reason]
+        if tail == 0:
+            result.next_pc = segment.next_addr
+        elif tail == 1:
+            result.next_pc = ras.pop()
+        elif tail == 2:
+            result.next_pc = self.indirect.predict(instructions[-1].addr)
+        else:
+            result.next_pc = instructions[-1].fall_through
+            result.ends_with_trap = True
+        return result
+
+    def _fetch_from_segment_slow(self, pc: int, segment: TraceSegment) -> FetchResult:
+        """Per-slot segment walk, kept for fetches with a pending promoted
+        fault override (which can cut the fetch at an arbitrary position)."""
+        ghr = self.ghr
+        ras = self.ras
+        ghr_push = ghr.push
+        ghr_at_entry = ghr.value
+        prediction = None
         result = FetchResult(pc=pc, source="tc", segment=segment)
         active_append = result.active.append
         dirs_append = result.active_dirs.append
@@ -263,6 +376,8 @@ class TraceFetchEngine(_FrontEndBase):
                     direction = branch.direction
                     ghr_push(direction)
                 else:
+                    if prediction is None:
+                        prediction = self.predictor.predict(pc, ghr_at_entry)
                     predicted = prediction.taken[dyn_index]
                     result.pred_records.append(
                         PredRecord(addr=inst.addr, position=dyn_index,

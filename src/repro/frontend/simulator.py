@@ -170,7 +170,9 @@ class FrontEndSimulator:
                 raise RuntimeError(
                     f"fetch desync at {inst.addr} vs oracle {o_inst.addr}"
                 )
-            if inst.op.is_cond_branch:
+            # A non-None fetch direction marks exactly the conditional
+            # branches (every engine fills active_dirs that way).
+            if active_dirs[idx] is not None:
                 promoted = active_promoted[idx]
                 record = None
                 if not promoted:
@@ -239,8 +241,8 @@ class FrontEndSimulator:
         arch_ras = self._arch_ras
         arch_ghr = self._arch_ghr
         for offset, (inst, taken, promoted, record) in enumerate(useful):
-            opclass = inst.op.opclass
-            if opclass is OpClass.COND_BRANCH:
+            code = inst.op.commit_code
+            if code == 3:  # conditional branch
                 arch_ghr = ((arch_ghr << 1) | taken) & ghr_mask
                 if promoted:
                     stats.promoted_branches += 1
@@ -249,12 +251,12 @@ class FrontEndSimulator:
                     if record is not None:
                         engine.train_branch(record, taken, tuple(path))
                         path.append(taken)
-            elif opclass is OpClass.CALL:
+            elif code == 4:  # call
                 arch_ras.append(inst.fall_through)
-            elif opclass is OpClass.RETURN:
+            elif code == 5:  # return
                 if arch_ras:
                     arch_ras.pop()
-            elif opclass is OpClass.INDIRECT:
+            elif code == 6:  # indirect
                 stats.indirect_jumps += 1
                 actual_target = oracle[oracle_index + offset][2]
                 engine.indirect.update(inst.addr, actual_target)

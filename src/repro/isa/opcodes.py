@@ -37,6 +37,23 @@ _CONTROL_CLASSES = frozenset(
     }
 )
 
+#: Small-int class codes consulted by the core's commit/complete stages.
+#: Comparing a cached int against constants is measurably cheaper in the
+#: per-retired-instruction hot path than chained ``opclass is OpClass.X``
+#: enum-identity tests (each of which re-loads two attributes).  Classes
+#: with no commit/complete-time side effects (ALU, JUMP, NOP) share code 0.
+_COMMIT_CODE = {
+    OpClass.STORE: 1,
+    OpClass.LOAD: 2,
+    OpClass.COND_BRANCH: 3,
+    OpClass.CALL: 4,
+    OpClass.RETURN: 5,
+    OpClass.INDIRECT: 6,
+    OpClass.TRAP: 7,
+    OpClass.HALT: 8,
+    OpClass.MUL: 9,
+}
+
 
 class Opcode(enum.Enum):
     """Every opcode in the ISA, tagged with its :class:`OpClass`."""
@@ -108,6 +125,8 @@ class Opcode(enum.Enum):
         #: fill unit to finalize a segment; branches, jumps and calls do not
         self.ends_trace_segment = opclass in (
             OpClass.RETURN, OpClass.INDIRECT, OpClass.TRAP, OpClass.HALT)
+        #: commit/complete dispatch code; see :data:`_COMMIT_CODE`
+        self.commit_code = _COMMIT_CODE.get(opclass, 0)
 
 
 #: Opcodes whose textual form takes ``rd, rs1, rs2``.

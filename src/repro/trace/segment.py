@@ -68,6 +68,9 @@ class TraceSegment:
     #: per-instruction ``(inst, branch, call_fall_through)`` walk list,
     #: built on first fetch (see :meth:`fetch_slots`).
     _fetch_slots: Optional[list] = field(default=None, init=False, repr=False, compare=False)
+    #: event-compressed fetch walk, built on first fetch (see
+    #: :meth:`fetch_plan`).
+    _fetch_plan: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -112,6 +115,60 @@ class TraceSegment:
                 slots.append((inst, branch, call_ft))
             self._fetch_slots = slots
         return slots
+
+    def fetch_plan(self) -> tuple:
+        """Cached event-compressed walk for the fetch engine.
+
+        Segments are immutable once built (``SegmentBranch`` is frozen and
+        the fill unit never edits a finalized segment), so everything about
+        a segment fetch that does not depend on live predictor/RAS state
+        can be precomputed once: the control *events* (calls and branches,
+        in fetch order) and the per-position direction/promotion templates
+        along the segment's embedded path.
+
+        Returns ``(events, dirs, promoted, promoted_addrs, tail)``:
+
+        * ``events`` — list of ``(kind, position, payload)``; kind 0 is a
+          call (payload = fall-through to push on the RAS), kind 1 a
+          promoted branch (payload = its static direction), kind 2 a
+          dynamic branch (payload = ``(embedded_direction, addr)``).
+        * ``dirs`` / ``promoted`` — full per-position direction and
+          promotion templates when the fetch follows the embedded path.
+        * ``promoted_addrs`` — frozenset of promoted-branch addresses, for
+          the fault-override disjointness test.
+        * ``tail`` — how the segment ends: 0 follows ``next_addr``, 1 RET,
+          2 indirect jump, 3 trap/halt.
+        """
+        plan = self._fetch_plan
+        if plan is None:
+            n = len(self.instructions)
+            dirs: List[Optional[bool]] = [None] * n
+            promoted = [False] * n
+            events = []
+            promoted_addrs = []
+            for pos, inst in enumerate(self.instructions):
+                op = inst.op
+                if op.is_cond_branch:
+                    branch = self.branch_at(pos)
+                    dirs[pos] = branch.direction
+                    if branch.promoted:
+                        promoted[pos] = True
+                        promoted_addrs.append(inst.addr)
+                        events.append((1, pos, branch.direction))
+                    else:
+                        events.append((2, pos, (branch.direction, inst.addr)))
+                elif op.is_call:
+                    events.append((0, pos, inst.fall_through))
+            last_op = self.instructions[-1].op
+            if last_op.is_indirect_control:
+                tail = 1 if last_op.mnemonic == "RET" else 2
+            elif last_op.is_serializing or last_op.mnemonic == "HALT":
+                tail = 3
+            else:
+                tail = 0
+            plan = (events, dirs, promoted, frozenset(promoted_addrs), tail)
+            self._fetch_plan = plan
+        return plan
 
     def block_boundaries(self) -> List[int]:
         """End positions (inclusive) of each fetch block within the segment.

@@ -56,13 +56,15 @@ class TraceCache:
 
     def lookup(self, fetch_addr: int) -> Optional[TraceSegment]:
         """Probe for a segment starting at ``fetch_addr`` (updates LRU/stats)."""
-        ways = self._sets[self._set_index(fetch_addr)]
+        ways = self._sets[fetch_addr & (self.n_sets - 1)]
+        stats = self.stats
         for i, segment in enumerate(ways):
             if segment.start_addr == fetch_addr:
-                ways.append(ways.pop(i))
-                self.stats.hits += 1
+                if i != len(ways) - 1:  # already most-recently-used
+                    ways.append(ways.pop(i))
+                stats.hits += 1
                 return segment
-        self.stats.misses += 1
+        stats.misses += 1
         return None
 
     def probe(self, fetch_addr: int) -> Optional[TraceSegment]:

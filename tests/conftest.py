@@ -5,6 +5,22 @@ import pytest
 from repro.isa import assemble
 
 
+@pytest.fixture(autouse=True)
+def _fresh_warn_once_state():
+    """Reset the one-shot warning registry between tests.
+
+    Warn-once guards (invalid ``REPRO_SCALE`` / ``REPRO_JOBS``) keep
+    process-global state; without a reset, whichever test triggers a
+    warning first would silently swallow it for every later
+    ``pytest.warns`` assertion.
+    """
+    from repro.experiments import warnonce
+
+    warnonce.reset()
+    yield
+    warnonce.reset()
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_disk_cache(tmp_path_factory):
     """Point the persistent result cache at a per-session temp directory.

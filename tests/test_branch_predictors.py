@@ -205,8 +205,8 @@ def test_multiple_tree_counters_are_conditioned():
         predictor.update(row, 0, (), True)
         predictor.update(row, 1, (True,), True)
         predictor.update(row, 1, (False,), False)
-    assert predictor._table[row][1 + 1] >= 2   # path (True,)
-    assert predictor._table[row][1 + 0] <= 1   # path (False,)
+    assert predictor._table[row * 7 + 1 + 1] >= 2   # path (True,)
+    assert predictor._table[row * 7 + 1 + 0] <= 1   # path (False,)
 
 
 def test_multiple_storage_is_32kb():
@@ -218,7 +218,7 @@ def test_multiple_update_positions():
     predictor = MultipleBranchPredictor(rows_bits=6)
     row = 5
     predictor.update(row, 2, (True, False), True)
-    assert predictor._table[row][3 + 0b10] == 2
+    assert predictor._table[row * 7 + 3 + 0b10] == 2
     with pytest.raises(ValueError):
         predictor.update(row, 3, (True, True, True), True)
 

@@ -1,0 +1,79 @@
+"""Byte-level parity between the event-driven core and the frozen seed core.
+
+The event-driven machine (:mod:`repro.core.machine`) reorganized the
+cycle loop around completion events, free-slot counters and quiescent
+skip-ahead — a pure performance change.  These tests pin the contract
+that makes the optimization trustworthy: on identical inputs, its
+serialized :class:`MachineResult` must be **byte-identical** to the one
+produced by the frozen reference copy of the seed implementation
+(:mod:`repro.core.machine_reference`), including every cycle count,
+event counter, and derived rate.
+
+The cases deliberately cross the interesting machine features: cold and
+functionally warmed front ends, promotion (promoted-branch faults),
+trace packing, the plain icache front end, and the perfect-memory-
+disambiguation scheduler.
+"""
+
+import pytest
+
+from repro import config as cfg
+from repro.config import CoreConfig, MachineConfig
+from repro.core.machine import Machine
+from repro.core.machine_reference import Machine as ReferenceMachine
+from repro.experiments import runner
+from repro.experiments.cachekey import canonical_json
+from repro.experiments.serialize import machine_result_to_dict
+from repro.frontend.build import build_engine
+from repro.frontend.simulator import FrontEndSimulator
+
+#: Machine window length for the parity runs; the warmup, when on, uses
+#: a longer oracle-driven front-end pass first (as the runner does).
+N = 4_000
+WARMUP_N = 10_000
+
+CASES = [
+    pytest.param("compress", MachineConfig(frontend=cfg.BASELINE),
+                 False, id="compress-baseline-cold"),
+    pytest.param("compress", MachineConfig(frontend=cfg.PROMOTION),
+                 True, id="compress-promotion-warm"),
+    pytest.param("li", MachineConfig(frontend=cfg.PROMOTION_PACKING),
+                 False, id="li-packing-cold"),
+    pytest.param("gcc", MachineConfig(frontend=cfg.ICACHE),
+                 True, id="gcc-icache-warm"),
+    pytest.param("go",
+                 MachineConfig(frontend=cfg.BASELINE,
+                               core=CoreConfig(perfect_disambiguation=True)),
+                 True, id="go-perfect-disamb-warm"),
+]
+
+
+def _run(machine_cls, benchmark: str, config: MachineConfig, warmup: bool):
+    program = runner.get_program(benchmark)
+    engine = None
+    if warmup:
+        engine = build_engine(program, config.frontend,
+                              memory_config=config.memory)
+        FrontEndSimulator(program, config.frontend,
+                          oracle=runner.get_oracle(benchmark, WARMUP_N),
+                          engine=engine).run()
+    return machine_cls(program, config, max_instructions=N,
+                       engine=engine).run()
+
+
+@pytest.mark.parametrize("bench, config, warmup", CASES)
+def test_event_driven_core_matches_reference(bench, config, warmup):
+    reference = _run(ReferenceMachine, bench, config, warmup)
+    optimized = _run(Machine, bench, config, warmup)
+    assert canonical_json(machine_result_to_dict(optimized)) == \
+        canonical_json(machine_result_to_dict(reference))
+
+
+def test_parity_covers_ipc_exactly():
+    """IPC equality is exact (not approximate): same cycles, same retires."""
+    config = MachineConfig(frontend=cfg.PROMOTION_PACKING)
+    reference = _run(ReferenceMachine, "compress", config, True)
+    optimized = _run(Machine, "compress", config, True)
+    assert optimized.cycles == reference.cycles
+    assert optimized.retired == reference.retired
+    assert optimized.ipc == reference.ipc

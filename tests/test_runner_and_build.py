@@ -101,7 +101,8 @@ def test_quick_scale_env(monkeypatch):
     monkeypatch.setenv("REPRO_SCALE", "0.5")
     assert runner.quick_scale() == 0.5
     monkeypatch.setenv("REPRO_SCALE", "garbage")
-    assert runner.quick_scale() == 1.0
+    with pytest.warns(RuntimeWarning, match="invalid REPRO_SCALE"):
+        assert runner.quick_scale() == 1.0
 
 
 def test_default_lengths_floor(monkeypatch):
