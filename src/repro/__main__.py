@@ -114,16 +114,48 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _print_failure_report(failed) -> None:
+    """Render a GridFailures exception as the end-of-run failure table."""
+    from repro.experiments import faults
+
+    print(format_table(list(faults.FAILURE_HEADERS),
+                       faults.failure_rows(failed.failures),
+                       title="Failed grid points"))
+    print(f"\n{len(failed.failures)} point(s) failed, "
+          f"{len(failed.results)} completed; completed points are "
+          "checkpointed and a re-run resumes from the journal.")
+
+
 def _cmd_experiment(args) -> int:
     import os
 
+    from repro.experiments.faults import GridFailures
+
+    # The builders resolve every supervision knob from the environment,
+    # so one flag covers every grid the experiment touches.
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.max_retries is not None:
+        os.environ["REPRO_RETRIES"] = str(args.max_retries)
+    if args.keep_going:
+        os.environ["REPRO_KEEP_GOING"] = "1"
+    elif args.fail_fast:
+        os.environ["REPRO_KEEP_GOING"] = "0"
+    if args.resume:
+        os.environ["REPRO_RESUME"] = "1"
+    elif args.no_resume:
+        os.environ["REPRO_RESUME"] = "0"
+    try:
+        return _render_experiment(args.name)
+    except GridFailures as failed:
+        _print_failure_report(failed)
+        return 1
+
+
+def _render_experiment(name: str) -> int:
+    """Build and print one paper table/figure (grids may raise)."""
     from repro.experiments import paper
 
-    if args.jobs is not None:
-        # The builders resolve their worker count from the environment, so
-        # one flag covers every grid the experiment touches.
-        os.environ["REPRO_JOBS"] = str(args.jobs)
-    name = args.name
     if name == "table1":
         rows = paper.table1_rows()
     elif name == "table2":
@@ -197,6 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", "-j", type=int, default=None,
                      help="worker processes for the simulation grid "
                           "(default: REPRO_JOBS or the CPU count)")
+    exp.add_argument("--max-retries", type=int, default=None,
+                     help="transient-failure retry budget per grid point "
+                          "(default: REPRO_RETRIES or 2)")
+    stop = exp.add_mutually_exclusive_group()
+    stop.add_argument("--fail-fast", action="store_true",
+                      help="stop at the first failed grid point (default)")
+    stop.add_argument("--keep-going", action="store_true",
+                      help="finish the grid, then exit nonzero with a "
+                           "per-point failure table")
+    res = exp.add_mutually_exclusive_group()
+    res.add_argument("--resume", action="store_true",
+                     help="replay this grid's checkpoint journal before "
+                          "scheduling (default)")
+    res.add_argument("--no-resume", action="store_true",
+                     help="ignore any existing checkpoint journal")
 
     return parser
 

@@ -49,6 +49,7 @@ def frontend_config_to_dict(config: FrontEndConfig) -> Dict[str, Any]:
 
 
 def frontend_config_from_dict(data: Dict[str, Any]) -> FrontEndConfig:
+    """Rebuild a FrontEndConfig from its flat dict (enums by value)."""
     kwargs = dict(data)
     kwargs["packing"] = PackingPolicy(kwargs["packing"])
     return FrontEndConfig(**kwargs)
@@ -66,6 +67,7 @@ def machine_config_to_dict(config: MachineConfig) -> Dict[str, Any]:
 
 
 def machine_config_from_dict(data: Dict[str, Any]) -> MachineConfig:
+    """Rebuild a MachineConfig from its nested dict form."""
     return MachineConfig(
         frontend=frontend_config_from_dict(data["frontend"]),
         memory=MemoryConfig(**data["memory"]),
@@ -83,6 +85,7 @@ def config_to_dict(config) -> Dict[str, Any]:
 
 
 def config_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`config_to_dict` (dispatches on the type tag)."""
     kind = data.get("type")
     body = {k: v for k, v in data.items() if k != "type"}
     if kind == "machine":

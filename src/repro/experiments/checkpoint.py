@@ -1,0 +1,178 @@
+"""Grid checkpoint journals: resume interrupted experiment runs cheaply.
+
+A long experiment grid that dies at point 97 of 100 — SIGKILLed by an
+OOM killer, a lost SSH session, a pre-empted batch node — should not
+recompute the 96 finished points.  The scheduler journals every
+completed point to ``$REPRO_CACHE_DIR/checkpoints/<grid-key>.jsonl`` as
+it finishes; a re-run of the *same* grid replays the journal first and
+schedules only the unjournaled remainder.
+
+Design notes:
+
+* **Grid identity is content-hashed.**  The journal file name is a
+  SHA-256 over the sorted cache keys of every point in the grid, and
+  those keys already fold in the benchmark profile, configuration, run
+  length and simulator source fingerprint — so a journal can never be
+  replayed against a different grid, a different code version, or
+  different run-length scaling.  Stale journals are simply never found.
+* **Append-only JSONL, tolerant reader.**  Each completed point is one
+  flushed JSON line.  A SIGKILL mid-write leaves at most one partial
+  trailing line, which the reader skips; every other line is still a
+  valid checkpoint (this is why the format is line-oriented rather than
+  a rewritten JSON document).
+* **Journals are an accelerator.**  Like the result cache, a journal
+  that cannot be written (full disk, read-only cache dir) disables
+  itself with a single warning and the run proceeds; a journal that
+  cannot be read is ignored.  ``REPRO_CHECKPOINTS=0`` turns the layer
+  off; ``REPRO_RESUME=0`` keeps writing journals but never replays one.
+* A grid that completes cleanly deletes its journal (the results are in
+  the result cache; the journal's job is done).  A failed or killed run
+  leaves it behind for the next attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.experiments import diskcache, warnonce
+from repro.experiments.cachekey import CACHE_SCHEMA_VERSION, canonical_json
+
+_SUFFIX = ".jsonl"
+
+
+def enabled() -> bool:
+    """Is journaling on?  (``REPRO_CHECKPOINTS=0`` turns it off.)"""
+    return os.environ.get("REPRO_CHECKPOINTS", "1") not in ("0", "")
+
+
+def resume_default() -> bool:
+    """Replay existing journals by default?  (``REPRO_RESUME=0`` opts out.)
+
+    Defaulting to on is safe because journal entries are keyed by the
+    same content hashes as the result cache: an entry that matches is,
+    by construction, the result of simulating exactly this point with
+    exactly this source tree.
+    """
+    return os.environ.get("REPRO_RESUME", "1") not in ("0", "")
+
+
+def checkpoint_dir() -> Path:
+    """Journals live beside the result cache, under ``checkpoints/``."""
+    return diskcache.cache_dir() / "checkpoints"
+
+
+def grid_key(point_keys: Iterable[str]) -> str:
+    """Stable identity of a grid: SHA-256 over its sorted point keys."""
+    return hashlib.sha256(
+        canonical_json(sorted(point_keys)).encode()).hexdigest()
+
+
+class Journal:
+    """Append-only completion journal for one grid run.
+
+    ``point_keys`` is the full set of cache keys in the grid (hits and
+    misses alike), so the journal's identity is stable regardless of how
+    much of the grid the cache already covers.
+    """
+
+    def __init__(self, point_keys: Iterable[str]):
+        keys = frozenset(point_keys)
+        self._keys = keys
+        self.path = checkpoint_dir() / f"{grid_key(keys)}{_SUFFIX}"
+        self._handle = None
+        self._broken = not enabled()
+
+    def load(self) -> Dict[str, Tuple[str, Dict[str, Any]]]:
+        """Replay the journal: ``{point key: (kind, payload dict)}``.
+
+        Unparseable lines (the partial trailing line a SIGKILL can
+        leave), wrong-version lines and keys outside this grid are
+        skipped silently — a damaged journal degrades to a shorter one,
+        never to an error or a wrong result.
+        """
+        if self._broken:
+            return {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        entries: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        for line in text.splitlines():
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(obj, dict):
+                continue
+            if obj.get("v") != CACHE_SCHEMA_VERSION:
+                continue
+            key = obj.get("key")
+            kind = obj.get("kind")
+            payload = obj.get("payload")
+            if key in self._keys and isinstance(kind, str) \
+                    and isinstance(payload, dict):
+                entries[key] = (kind, payload)
+        return entries
+
+    def record(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
+        """Append one completed point and flush it to the OS.
+
+        A flush is enough for SIGKILL durability (the kernel keeps the
+        written bytes); fsync-per-point would only add power-loss
+        durability at a real cost on large grids.  Any write failure
+        disables the journal for the rest of the run, with one warning.
+        """
+        if self._broken:
+            return
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(json.dumps(
+                {"v": CACHE_SCHEMA_VERSION, "key": key,
+                 "kind": kind, "payload": payload},
+                sort_keys=True, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError, TypeError):
+            self._broken = True
+            self.close()
+            warnonce.warn_once(
+                "checkpoint-write",
+                f"cannot write grid checkpoint journal {self.path}; "
+                "journaling disabled for this run")
+
+    def close(self) -> None:
+        """Release the file handle, keeping the journal for a future resume."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def complete(self) -> None:
+        """The grid finished cleanly: the journal has done its job, drop it."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def stats() -> Dict[str, int]:
+    """Journal count and total bytes currently on disk (for reporting)."""
+    directory = checkpoint_dir()
+    entries = 0
+    size = 0
+    if directory.is_dir():
+        for path in directory.glob(f"*{_SUFFIX}"):
+            try:
+                size += path.stat().st_size
+                entries += 1
+            except OSError:
+                pass
+    return {"entries": entries, "bytes": size}

@@ -46,8 +46,12 @@ def cache_dir() -> Path:
     return base / "repro"
 
 
-def _path_for(key: str) -> Path:
+def entry_path(key: str) -> Path:
+    """Where the entry for ``key`` lives (whether or not it exists yet)."""
     return cache_dir() / f"{key}{_SUFFIX}"
+
+
+_path_for = entry_path
 
 
 def load(key: str) -> Optional[Dict[str, Any]]:
@@ -82,7 +86,10 @@ def store(key: str, kind: str, payload: Dict[str, Any]) -> None:
     """Atomically persist ``payload`` under ``key``; failures are silent.
 
     The cache is an accelerator: a full disk or read-only home directory
-    must not break an experiment run.
+    must not break an experiment run.  Control-flow exceptions
+    (``KeyboardInterrupt``, ``SystemExit``) are re-raised after the temp
+    file is cleaned up — a Ctrl-C mid-write must stop the run, never be
+    swallowed into the silent-OSError path.
     """
     if not enabled():
         return
@@ -99,13 +106,15 @@ def store(key: str, kind: str, payload: Dict[str, Any]) -> None:
             with os.fdopen(fd, "w") as handle:
                 json.dump(envelope, handle, sort_keys=True,
                           separators=(",", ":"))
-            os.replace(tmp_name, _path_for(key))
+            os.replace(tmp_name, entry_path(key))
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except OSError:
         pass
 

@@ -131,6 +131,24 @@ def get_oracle(benchmark: str, n: Optional[int] = None) -> list:
     return oracle
 
 
+def frontend_cache_key(benchmark: str, config: FrontEndConfig, n: int) -> str:
+    """The disk-cache key a front-end result is stored under."""
+    return cache_key("frontend", benchmark, config, n)
+
+
+def machine_cache_key(benchmark: str, config: MachineConfig, n: int,
+                      warmup: bool = True) -> str:
+    """The disk-cache key a machine result is stored under.
+
+    The warmup window scales with the environment knobs, so it is part
+    of the key — shared here so the scheduler's checkpoint journal and
+    fault harness address exactly the entries the runner writes.
+    """
+    warmup_n = default_length(benchmark) if warmup else 0
+    return cache_key("machine", benchmark, config, n,
+                     extra={"warmup": warmup_n})
+
+
 def cached_frontend_result(benchmark: str, config: FrontEndConfig,
                            n: Optional[int] = None) -> Optional[FrontEndResult]:
     """Memo- or disk-cached front-end result, or None (never computes)."""
@@ -140,7 +158,7 @@ def cached_frontend_result(benchmark: str, config: FrontEndConfig,
     result = _frontend.get(key)
     if result is not None:
         return result
-    payload = diskcache.load(cache_key("frontend", benchmark, config, n))
+    payload = diskcache.load(frontend_cache_key(benchmark, config, n))
     if payload is not None:
         result = frontend_result_from_dict(payload)
         _frontend[key] = result
@@ -165,7 +183,7 @@ def frontend_result(benchmark: str, config: FrontEndConfig,
         get_program(benchmark), config, oracle=get_oracle(benchmark, n)
     )
     result = simulator.run()
-    diskcache.store(cache_key("frontend", benchmark, config, n),
+    diskcache.store(frontend_cache_key(benchmark, config, n),
                     "frontend", frontend_result_to_dict(result))
     _frontend[(benchmark, config, n)] = result
     return result
@@ -189,7 +207,6 @@ def machine_result(benchmark: str, config: MachineConfig,
     result = cached_machine_result(benchmark, config, n, warmup=warmup)
     if result is not None:
         return result
-    warmup_n = default_length(benchmark) if warmup else 0
     program = get_program(benchmark)
     engine = None
     if warmup:
@@ -200,8 +217,7 @@ def machine_result(benchmark: str, config: MachineConfig,
                           oracle=get_oracle(benchmark), engine=engine).run()
     result = Machine(program, config, max_instructions=n,
                      engine=engine).run()
-    diskcache.store(cache_key("machine", benchmark, config, n,
-                              extra={"warmup": warmup_n}),
+    diskcache.store(machine_cache_key(benchmark, config, n, warmup=warmup),
                     "machine", machine_result_to_dict(result))
     _machine[(benchmark, config, n)] = result
     return result
@@ -217,9 +233,8 @@ def cached_machine_result(benchmark: str, config: MachineConfig,
     result = _machine.get(key)
     if result is not None:
         return result
-    warmup_n = default_length(benchmark) if warmup else 0
-    payload = diskcache.load(cache_key("machine", benchmark, config, n,
-                                       extra={"warmup": warmup_n}))
+    payload = diskcache.load(machine_cache_key(benchmark, config, n,
+                                               warmup=warmup))
     if payload is not None:
         result = machine_result_from_dict(payload)
         _machine[key] = result

@@ -1,4 +1,4 @@
-"""Process-pool experiment scheduler.
+"""Supervised process-pool experiment scheduler.
 
 The paper's tables and figures are grids of independent simulations:
 (benchmark, configuration, run length) points.  This module fans a grid
@@ -10,22 +10,34 @@ Scheduling decisions:
 
 * **Per-point fan-out.**  Each simulation is its own pool task, handed
   out **largest estimated cost first** (machine points cost roughly
-  four front-end points of the same length, plus their warmup).  The
-  old per-benchmark batching serialized every configuration of the
-  slowest benchmark on one worker, so total wall clock was bounded by
-  the largest *batch*; longest-first per-point scheduling bounds it by
-  the largest *point*.
-* **Shared oracle traces.**  What made batching attractive — computing
-  each benchmark's oracle stream once — is now handled by the binary
-  trace files (:mod:`repro.experiments.tracefile`): the parent
-  pre-writes every oracle a missing point needs, and workers
+  four front-end points of the same length, plus their warmup), with at
+  most ``jobs`` tasks in flight so per-point deadlines measure runtime,
+  not queueing.
+* **Shared oracle traces.**  The parent pre-writes every oracle a
+  missing point needs (:mod:`repro.experiments.tracefile`) and workers
   memory-map them instead of re-executing.
 * **Cache-first.**  The parent serves every point it can from the memo
-  and disk caches before spawning anything; a fully warm grid never
-  creates a pool.
+  and disk caches — and from the grid's checkpoint journal
+  (:mod:`repro.experiments.checkpoint`) — before spawning anything; a
+  fully warm grid never creates a pool.
 * **Degradation.**  ``jobs <= 1`` (the default on single-core boxes) or
   a single-point grid runs inline in the parent — same results, no
   pickling, no process startup.
+
+Supervision (see :mod:`repro.experiments.faults` for the taxonomy and
+knobs): a worker that crashes or hits an OS-level IO error is a
+*transient* failure — the point is retried up to ``REPRO_RETRIES`` times
+with exponential backoff and the pool is respawned; a point that blows
+its cost-scaled ``REPRO_POINT_TIMEOUT`` deadline gets its hung worker
+killed and is requeued; a pool that breaks repeatedly degrades the rest
+of the grid to serial in-parent execution, which is always a safe floor
+because injected faults never fire outside workers.  A *deterministic*
+failure (simulation exception) is re-run once inline in the parent: if
+it fails again the clean parent traceback propagates (fail-fast) or is
+collected into the end-of-run :class:`~repro.experiments.faults.GridFailures`
+report (``REPRO_KEEP_GOING`` / ``--keep-going``).  Completed points are
+journaled as they finish, so an interrupted grid resumes from the
+journal instead of recomputing.
 
 Worker count resolution: explicit ``jobs`` argument, else ``REPRO_JOBS``
 from the environment, else ``os.cpu_count()``.  An unparseable
@@ -39,11 +51,21 @@ so a parallel run leaves the same warm cache behind as a serial one.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import runner, tracefile, warnonce
+from repro.experiments import (checkpoint, diskcache, faults, runner,
+                               tracefile, warnonce)
+from repro.experiments.serialize import (
+    frontend_result_from_dict,
+    frontend_result_to_dict,
+    machine_result_from_dict,
+    machine_result_to_dict,
+)
 
 #: GridPoint.kind values.
 FRONTEND = "frontend"
@@ -52,6 +74,10 @@ MACHINE = "machine"
 #: Relative cost of one simulated machine instruction versus one
 #: front-end instruction (the cycle-level core is roughly 4x slower).
 _MACHINE_COST_FACTOR = 4
+
+#: After this many pool breaks (crashed workers, killed hangs) the rest
+#: of the grid runs serially in the parent instead of respawning again.
+_MAX_POOL_BREAKS = 3
 
 
 @dataclass(frozen=True)
@@ -114,6 +140,29 @@ def _estimated_cost(point: GridPoint) -> int:
     return point.n
 
 
+def _point_key(point: GridPoint) -> str:
+    """The resolved point's content-hash cache key (runner-compatible)."""
+    if point.kind == FRONTEND:
+        return runner.frontend_cache_key(point.benchmark, point.config,
+                                         point.n)
+    return runner.machine_cache_key(point.benchmark, point.config, point.n,
+                                    warmup=point.warmup)
+
+
+def _result_to_payload(point: GridPoint, result) -> Dict[str, Any]:
+    """Serialize one result for the checkpoint journal."""
+    if point.kind == FRONTEND:
+        return frontend_result_to_dict(result)
+    return machine_result_to_dict(result)
+
+
+def _result_from_payload(point: GridPoint, payload: Dict[str, Any]):
+    """Rebuild a journaled result; raises on a malformed payload."""
+    if point.kind == FRONTEND:
+        return frontend_result_from_dict(payload)
+    return machine_result_from_dict(payload)
+
+
 def _oracle_needs(point: GridPoint) -> List[Tuple[str, int]]:
     """The (benchmark, length) oracle streams this point will consume."""
     if point.kind == FRONTEND:
@@ -135,8 +184,10 @@ def _prewrite_traces(points: Sequence[GridPoint]) -> None:
 
 def _worker_init(emitted_keys: Tuple[str, ...]) -> None:
     """Pool initializer: inherit the parent's already-warned state so a
-    grid emits each environment diagnostic once, not once per worker."""
+    grid emits each environment diagnostic once, not once per worker,
+    and arm the fault-injection harness (faults fire in workers only)."""
     warnonce.seed(emitted_keys)
+    faults.mark_worker()
 
 
 def _run_point(point: GridPoint):
@@ -147,6 +198,23 @@ def _run_point(point: GridPoint):
                                  warmup=point.warmup)
 
 
+def _run_point_task(point: GridPoint, ordinal: int, attempt: int, key: str):
+    """Pool-task wrapper: fault-injection hooks around one point.
+
+    The hooks are no-ops unless this process is an armed worker *and*
+    ``REPRO_FAULTS`` is set, so the production path pays two tuple
+    checks per point.
+    """
+    faults.inject_before(
+        key, ordinal, attempt,
+        trace_paths=[tracefile.trace_path(b, n)
+                     for b, n in _oracle_needs(point)])
+    result = _run_point(point)
+    faults.inject_after(key, ordinal, attempt,
+                        cache_path=diskcache.entry_path(key))
+    return result
+
+
 def _admit(point: GridPoint, result) -> None:
     if point.kind == FRONTEND:
         runner.admit_frontend_result(result, point.n)
@@ -154,13 +222,284 @@ def _admit(point: GridPoint, result) -> None:
         runner.admit_machine_result(result, point.n)
 
 
-def run_grid(points: Sequence[GridPoint],
-             jobs: Optional[int] = None) -> Dict[GridPoint, Any]:
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool with a hung worker.
+
+    ``shutdown`` alone would block behind the hang: terminate the worker
+    processes first (best-effort — ``_processes`` is executor-private,
+    so any failure just falls back to an abandoned pool), then release
+    the executor without waiting.
+    """
+    try:
+        processes = dict(getattr(pool, "_processes", None) or {})
+        for process in processes.values():
+            process.terminate()
+    except Exception:
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass(frozen=True)
+class _Policy:
+    """Resolved supervision knobs for one grid run."""
+
+    jobs: int
+    max_retries: int
+    timeout: Optional[float]   #: base seconds at faults.COST_REFERENCE cost
+    backoff: float             #: exponential backoff base seconds
+    keep_going: bool
+
+
+class _Supervisor:
+    """Drives a grid's miss list to completion under the retry policy."""
+
+    def __init__(self, misses: Sequence[GridPoint],
+                 keys: Dict[GridPoint, str], policy: _Policy,
+                 journal: checkpoint.Journal):
+        # Longest first: with independent points, scheduling the most
+        # expensive work early minimizes the makespan straggler.
+        self.order = sorted(misses, key=_estimated_cost, reverse=True)
+        self.ordinals = {point: i for i, point in enumerate(self.order)}
+        self.keys = keys
+        self.policy = policy
+        self.journal = journal
+        self.attempts = {point: 0 for point in self.order}
+        self.failures: List[faults.PointFailure] = []
+        self.results: Dict[GridPoint, Any] = {}
+        self.pool_breaks = 0
+
+    # ------------------------------------------------------------ outcomes
+
+    def _record(self, point: GridPoint, result) -> None:
+        """A point completed: admit, remember, journal."""
+        _admit(point, result)
+        self.results[point] = result
+        self.journal.record(self.keys[point], point.kind,
+                            _result_to_payload(point, result))
+
+    def _fail(self, point: GridPoint, kind: str, exc: BaseException,
+              traceback: str = "", attempts: Optional[int] = None) -> None:
+        """A point is out of options: report it, or raise right now.
+
+        ``attempts`` is the number of executions actually consumed; the
+        default covers the deterministic case (prior transient attempts
+        plus the failing run itself).
+        """
+        if attempts is None:
+            attempts = self.attempts[point] + 1
+        self.failures.append(faults.PointFailure(
+            point=point, kind=kind, attempts=attempts,
+            error=faults.format_error(exc), traceback=traceback))
+        if self.policy.keep_going:
+            return
+        if kind == faults.DETERMINISTIC and isinstance(exc, Exception):
+            raise exc  # the clean inline traceback, not a pool wrapper
+        raise faults.GridFailures(self.failures, self.results)
+
+    def _retry_inline(self, point: GridPoint, pool_exc: BaseException) -> None:
+        """Deterministic pool failure: re-run once in the parent.
+
+        A real simulation bug reproduces here with a clean traceback; a
+        failure that only existed in the worker (an injected fault, a
+        poisoned inherited state) simply succeeds and the result counts.
+        """
+        del pool_exc  # superseded by the inline outcome either way
+        try:
+            result = _run_point(point)
+        except Exception as exc:
+            # Consumed: prior transient attempts, the pool run, this one.
+            self._fail(point, faults.DETERMINISTIC, exc,
+                       traceback=faults.capture_traceback(exc),
+                       attempts=self.attempts[point] + 2)
+        else:
+            self._record(point, result)
+
+    def _requeue_or_fail(self, point: GridPoint, kind: str,
+                         exc: BaseException,
+                         pending: Deque[GridPoint]) -> bool:
+        """Transient/timeout failure: consume one retry or give up.
+
+        Returns whether the point was requeued.
+        """
+        self.attempts[point] += 1
+        if self.attempts[point] > self.policy.max_retries:
+            self._fail(point, kind, exc, attempts=self.attempts[point])
+            return False
+        pending.append(point)
+        return True
+
+    # ----------------------------------------------------------- execution
+
+    def run(self) -> Dict[GridPoint, Any]:
+        """Run every miss; returns results or raises on failed points."""
+        pending: Deque[GridPoint] = deque(self.order)
+        if self.policy.jobs <= 1 or len(pending) <= 1:
+            self._run_serial(pending)
+        else:
+            self._run_pooled(pending)
+        if self.failures:
+            raise faults.GridFailures(self.failures, self.results)
+        return self.results
+
+    def _run_serial(self, pending: Deque[GridPoint]) -> None:
+        """Inline execution with the same retry policy (and no faults)."""
+        while pending:
+            point = pending.popleft()
+            while True:
+                try:
+                    result = _run_point(point)
+                except Exception as exc:
+                    kind = faults.classify(exc)
+                    if kind == faults.DETERMINISTIC:
+                        self._fail(point, kind, exc,
+                                   traceback=faults.capture_traceback(exc))
+                        break
+                    self.attempts[point] += 1
+                    if self.attempts[point] > self.policy.max_retries:
+                        self._fail(point, kind, exc,
+                                   attempts=self.attempts[point])
+                        break
+                    time.sleep(faults.backoff_delay(self.policy.backoff,
+                                                    self.attempts[point]))
+                else:
+                    self._record(point, result)
+                    break
+
+    def _timeout_for(self, point: GridPoint) -> Optional[float]:
+        """This point's wall-clock budget: base scaled by estimated cost."""
+        base = self.policy.timeout
+        if base is None:
+            return None
+        scale = max(1.0, _estimated_cost(point) / faults.COST_REFERENCE)
+        return base * scale
+
+    def _spawn_pool(self, remaining: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max(1, min(self.policy.jobs, remaining)),
+            initializer=_worker_init,
+            initargs=(warnonce.snapshot(),))
+
+    def _run_pooled(self, pending: Deque[GridPoint]) -> None:
+        """The supervision loop: window, wait, classify, retry, respawn."""
+        pool: Optional[ProcessPoolExecutor] = None
+        inflight: Dict[Any, GridPoint] = {}
+        deadlines: Dict[Any, float] = {}
+        try:
+            while pending or inflight:
+                if self.pool_breaks >= _MAX_POOL_BREAKS:
+                    warnonce.warn_once(
+                        "scheduler-serial-degrade",
+                        f"worker pool broke {self.pool_breaks} times; "
+                        "running the rest of the grid serially")
+                    for point in inflight.values():
+                        pending.append(point)  # abandoned with the pool
+                    inflight.clear()
+                    deadlines.clear()
+                    self._run_serial(pending)
+                    return
+                if pool is None:
+                    pool = self._spawn_pool(len(pending))
+                # Keep at most ``jobs`` tasks in flight so a submit
+                # timestamp approximates a start timestamp and deadlines
+                # measure simulation time, not queue time.
+                while pending and len(inflight) < self.policy.jobs:
+                    point = pending.popleft()
+                    try:
+                        future = pool.submit(
+                            _run_point_task, point, self.ordinals[point],
+                            self.attempts[point], self.keys[point])
+                    except (BrokenExecutor, RuntimeError):
+                        # The pool died between iterations; respawn next
+                        # time around without charging the point a retry.
+                        pending.appendleft(point)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+                        self.pool_breaks += 1
+                        break
+                    inflight[future] = point
+                    budget = self._timeout_for(point)
+                    if budget is not None:
+                        deadlines[future] = time.monotonic() + budget
+                if pool is None:
+                    continue
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(set(inflight), timeout=wait_timeout,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    point = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        if isinstance(exc, BrokenExecutor):
+                            broken = True
+                        kind = faults.classify(exc)
+                        if kind == faults.DETERMINISTIC:
+                            self._retry_inline(point, exc)
+                        else:
+                            self._requeue_or_fail(point, kind, exc, pending)
+                    else:
+                        self._record(point, result)
+                # Hung points: deadline passed and the future still runs.
+                now = time.monotonic()
+                overdue = [future for future, deadline in deadlines.items()
+                           if now >= deadline and future in inflight]
+                if overdue:
+                    for future in overdue:
+                        point = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        self._requeue_or_fail(
+                            point, faults.TIMEOUT,
+                            faults.PointTimeout(
+                                f"{point.benchmark} point exceeded its "
+                                f"{self._timeout_for(point):.1f}s deadline"),
+                            pending)
+                    _kill_pool(pool)
+                    pool = None
+                    broken = True
+                if broken:
+                    if pool is not None:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+                    # Collateral in-flight points died with the pool
+                    # through no fault of their own: requeue them without
+                    # consuming a retry (the culprit's own future already
+                    # did, when it raised above).
+                    for point in inflight.values():
+                        pending.append(point)
+                    inflight.clear()
+                    deadlines.clear()
+                    self.pool_breaks += 1
+                    time.sleep(faults.backoff_delay(self.policy.backoff,
+                                                    self.pool_breaks))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
+             resume: Optional[bool] = None,
+             max_retries: Optional[int] = None,
+             timeout: Optional[float] = None,
+             keep_going: Optional[bool] = None) -> Dict[GridPoint, Any]:
     """Run every grid point; returns ``{resolved point: result}``.
 
     Duplicate points collapse to one simulation.  Results are also left
     in the runner's in-process memo, so subsequent direct
     ``frontend_result`` / ``machine_result`` calls are hits.
+
+    Keyword arguments override their environment knobs (see
+    :mod:`repro.experiments.faults`): ``resume`` replays this grid's
+    checkpoint journal (default ``REPRO_RESUME``, on), ``max_retries``
+    bounds transient retries (``REPRO_RETRIES``), ``timeout`` is the
+    base per-point deadline in seconds (``REPRO_POINT_TIMEOUT``), and
+    ``keep_going`` finishes the grid before raising
+    :class:`~repro.experiments.faults.GridFailures` with the full
+    failure table (``REPRO_KEEP_GOING``).
     """
     resolved: List[GridPoint] = []
     seen = set()
@@ -170,6 +509,7 @@ def run_grid(points: Sequence[GridPoint],
             seen.add(point)
             resolved.append(point)
 
+    keys = {point: _point_key(point) for point in resolved}
     results: Dict[GridPoint, Any] = {}
     misses: List[GridPoint] = []
     for point in resolved:
@@ -183,32 +523,46 @@ def run_grid(points: Sequence[GridPoint],
             results[point] = cached
         else:
             misses.append(point)
-    if not misses:
-        return results
 
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(misses) <= 1:
-        for point in misses:
-            results[point] = _run_point(point)
-        return results
-
-    if tracefile.enabled():
-        _prewrite_traces(misses)
-    # Longest first: with independent points, scheduling the most
-    # expensive work early minimizes the makespan straggler.
-    order = sorted(misses, key=_estimated_cost, reverse=True)
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(order)),
-                             initializer=_worker_init,
-                             initargs=(warnonce.snapshot(),)) as pool:
-        futures = {pool.submit(_run_point, point): point for point in order}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                point = futures[future]
-                result = future.result()
+    journal = checkpoint.Journal(keys.values())
+    if resume is None:
+        resume = checkpoint.resume_default()
+    if misses and resume:
+        restored = journal.load()
+        if restored:
+            still_missing = []
+            for point in misses:
+                entry = restored.get(keys[point])
+                if entry is None:
+                    still_missing.append(point)
+                    continue
+                try:
+                    result = _result_from_payload(point, entry[1])
+                except Exception:
+                    still_missing.append(point)  # malformed: recompute
+                    continue
                 _admit(point, result)
                 results[point] = result
+            misses = still_missing
+    if not misses:
+        journal.complete()
+        return results
+
+    policy = _Policy(jobs=resolve_jobs(jobs),
+                     max_retries=faults.resolve_retries(max_retries),
+                     timeout=faults.resolve_timeout(timeout),
+                     backoff=faults.resolve_backoff(),
+                     keep_going=faults.resolve_keep_going(keep_going))
+    if tracefile.enabled() and policy.jobs > 1 and len(misses) > 1:
+        _prewrite_traces(misses)
+    supervisor = _Supervisor(misses, keys, policy, journal)
+    try:
+        computed = supervisor.run()
+    except BaseException:
+        journal.close()  # keep the journal so the next run resumes
+        raise
+    results.update(computed)
+    journal.complete()
     return results
 
 

@@ -99,6 +99,7 @@ def _fill_reasons_from_dict(data: Dict[str, int]) -> dict:
 # ------------------------------------------------------------- front end
 
 def frontend_result_to_dict(result: FrontEndResult) -> Dict[str, Any]:
+    """JSON-able envelope payload for one front-end result."""
     return {
         "benchmark": result.benchmark,
         "config": config_to_dict(result.config),
@@ -117,6 +118,7 @@ def frontend_result_to_dict(result: FrontEndResult) -> Dict[str, Any]:
 
 
 def frontend_result_from_dict(data: Dict[str, Any]) -> FrontEndResult:
+    """Rebuild a front-end result from its stored payload."""
     return FrontEndResult(
         benchmark=data["benchmark"],
         config=config_from_dict(data["config"]),
@@ -148,6 +150,7 @@ _MACHINE_INT_FIELDS = (
 
 
 def machine_result_to_dict(result: MachineResult) -> Dict[str, Any]:
+    """JSON-able envelope payload for one machine result."""
     out: Dict[str, Any] = {
         "benchmark": result.benchmark,
         "config": config_to_dict(result.config),
@@ -163,6 +166,7 @@ def machine_result_to_dict(result: MachineResult) -> Dict[str, Any]:
 
 
 def machine_result_from_dict(data: Dict[str, Any]) -> MachineResult:
+    """Rebuild a machine result from its stored payload."""
     result = MachineResult(
         benchmark=data["benchmark"],
         config=config_from_dict(data["config"]),

@@ -45,7 +45,7 @@ from array import array
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments import diskcache
+from repro.experiments import diskcache, warnonce
 from repro.experiments.cachekey import canonical_json, code_fingerprint, profile_to_dict
 from repro.isa.program import Program
 
@@ -95,6 +95,7 @@ def trace_key(benchmark: str, n: int) -> str:
 
 
 def trace_path(benchmark: str, n: int) -> Path:
+    """Where this (benchmark, length) oracle's trace file lives."""
     return trace_dir() / f"{trace_key(benchmark, n)}{_SUFFIX}"
 
 
@@ -149,6 +150,8 @@ def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
             except OSError:
                 pass
             raise
+    except (KeyboardInterrupt, SystemExit):
+        raise  # control flow escapes the silent-failure contract
     except OSError:
         return None
     return path
@@ -208,9 +211,19 @@ def load_oracle(benchmark: str, n: int, program: Program) -> Optional[List[tuple
                             next_pcs))
         finally:
             mm.close()
-    except (ValueError, struct.error):
+    except (ValueError, struct.error) as problem:
+        # One warning machine-wide (shared latch): in a worker pool every
+        # process can trip over the same bad file at once, and N copies
+        # of the same diagnostic would bury real output.
+        warnonce.warn_once(
+            f"trace-corrupt:{path.name}",
+            f"discarding corrupt oracle trace for {benchmark!r} "
+            f"({problem}); the stream will be recomputed",
+            shared=True)
         try:
             path.unlink()
+        except FileNotFoundError:
+            pass  # a concurrent worker saw the same corruption and won
         except OSError:
             pass
         return None

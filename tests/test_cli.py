@@ -77,3 +77,53 @@ def test_experiment_command_runs(capsys, monkeypatch):
 def test_config_names_resolve():
     for name, config in CONFIGS.items():
         assert config.kind in ("tc", "icache"), name
+
+
+def test_experiment_supervision_flags_set_env(monkeypatch):
+    import os
+
+    import repro.__main__ as cli
+
+    # setenv registers restoration, so the values main() writes directly
+    # into os.environ are rolled back after the test.
+    for knob in ("REPRO_JOBS", "REPRO_RETRIES", "REPRO_KEEP_GOING",
+                 "REPRO_RESUME"):
+        monkeypatch.setenv(knob, "")
+    monkeypatch.setattr(cli, "_render_experiment", lambda name: 0)
+    assert main(["experiment", "table3", "--jobs", "3", "--max-retries", "7",
+                 "--keep-going", "--no-resume"]) == 0
+    assert os.environ["REPRO_JOBS"] == "3"
+    assert os.environ["REPRO_RETRIES"] == "7"
+    assert os.environ["REPRO_KEEP_GOING"] == "1"
+    assert os.environ["REPRO_RESUME"] == "0"
+    assert main(["experiment", "table3", "--fail-fast", "--resume"]) == 0
+    assert os.environ["REPRO_KEEP_GOING"] == "0"
+    assert os.environ["REPRO_RESUME"] == "1"
+
+
+def test_experiment_exclusive_flag_pairs_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table3", "--fail-fast", "--keep-going"])
+    with pytest.raises(SystemExit):
+        main(["experiment", "table3", "--resume", "--no-resume"])
+
+
+def test_experiment_failure_report(monkeypatch, capsys):
+    import repro.__main__ as cli
+    from repro.config import BASELINE
+    from repro.experiments.faults import GridFailures, PointFailure
+    from repro.experiments.scheduler import GridPoint
+
+    failure = PointFailure(
+        point=GridPoint("frontend", "compress", BASELINE, 5_000),
+        kind="deterministic", attempts=1, error="ValueError: injected")
+
+    def exploding(name):
+        raise GridFailures([failure], {})
+
+    monkeypatch.setattr(cli, "_render_experiment", exploding)
+    assert main(["experiment", "table3", "--keep-going"]) == 1
+    out = capsys.readouterr().out
+    assert "Failed grid points" in out
+    assert "compress" in out and "ValueError: injected" in out
+    assert "resumes from the journal" in out

@@ -23,7 +23,11 @@ PACKAGES = [
     "repro.frontend.simulator", "repro.frontend.stats",
     "repro.core", "repro.core.inflight", "repro.core.machine",
     "repro.experiments", "repro.experiments.paper", "repro.experiments.runner",
-    "repro.experiments.seeds",
+    "repro.experiments.seeds", "repro.experiments.scheduler",
+    "repro.experiments.faults", "repro.experiments.checkpoint",
+    "repro.experiments.diskcache", "repro.experiments.tracefile",
+    "repro.experiments.warnonce", "repro.experiments.cachekey",
+    "repro.experiments.serialize",
     "repro.analysis", "repro.analysis.branches", "repro.analysis.tracecache",
     "repro.analysis.timeline",
     "repro.report", "repro.report.tables",

@@ -189,6 +189,49 @@ def test_machine_grid_points():
     assert result.retired == 2_000
 
 
+def _no_pool(monkeypatch):
+    import repro.experiments.scheduler as scheduler
+
+    def boom(*args, **kwargs):
+        raise AssertionError("a process pool was created")
+
+    monkeypatch.setattr(scheduler, "ProcessPoolExecutor", boom)
+
+
+def test_env_jobs_one_runs_inline(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    _no_pool(monkeypatch)
+    serial = run_grid(_grid())
+    assert len(serial) == 4
+    # Same points by the explicit-argument route: identical memo objects.
+    assert run_grid(_grid(), jobs=1) == serial
+
+
+def test_single_point_grid_runs_inline(monkeypatch):
+    _no_pool(monkeypatch)
+    results = run_grid([GridPoint("frontend", "compress", BASELINE, N)], jobs=4)
+    assert len(results) == 1
+
+
+def test_pool_respawn_after_worker_crash_matches_serial(monkeypatch):
+    """A machine grid whose first worker dies mid-run: the respawned pool
+    finishes it with byte-identical results to a clean serial run."""
+    config = MachineConfig(frontend=BASELINE)
+    grid = [GridPoint("machine", b, config, 2_000, warmup=False)
+            for b in ("compress", "m88ksim")]
+    serial = run_grid(grid, jobs=1)
+    runner.clear_caches(disk=True)
+
+    monkeypatch.setenv("REPRO_FAULTS", "crash:p0")
+    monkeypatch.setenv("REPRO_RETRIES", "3")
+    monkeypatch.setenv("REPRO_BACKOFF", "0.01")
+    respawned = run_grid(grid, jobs=2)
+    assert set(respawned) == set(serial)
+    for point in serial:
+        assert (machine_result_to_dict(respawned[point])
+                == machine_result_to_dict(serial[point]))
+
+
 def test_resolve_jobs(monkeypatch):
     assert resolve_jobs(3) == 3
     assert resolve_jobs(0) == 1
