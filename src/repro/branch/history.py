@@ -26,6 +26,14 @@ class GlobalHistory:
     def push(self, taken: bool) -> None:
         self.value = ((self.value << 1) | int(taken)) & self.mask
 
+    def push_bits(self, bits: int, count: int) -> None:
+        """Shift in ``count`` outcomes at once, oldest in the high bit.
+
+        Equivalent to ``count`` :meth:`push` calls; the compiled-fetch-plan
+        engine folds a whole segment's branch outcomes into one shift-OR.
+        """
+        self.value = ((self.value << count) | bits) & self.mask
+
     def snapshot(self) -> int:
         return self.value
 

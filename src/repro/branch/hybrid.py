@@ -8,16 +8,20 @@ the gshare component (~32KB total).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.branch.counters import SaturatingCounters
 from repro.branch.gshare import GsharePredictor
 from repro.branch.pas import PAsPredictor
 
 
-@dataclass(frozen=True)
-class HybridPrediction:
-    """A prediction plus everything needed to update at resolve time."""
+class HybridPrediction(NamedTuple):
+    """A prediction plus everything needed to update at resolve time.
+
+    A NamedTuple, not a dataclass: one is allocated per predicted branch on
+    the icache front end's hot path, and tuple construction is several
+    times cheaper than dataclass ``__init__``.
+    """
 
     taken: bool
     gshare_taken: bool
@@ -28,22 +32,36 @@ class HybridPrediction:
 
 
 class HybridPredictor:
-    """gshare + PAs with a 2-bit chooser per gshare index."""
+    """gshare + PAs with a 2-bit chooser per gshare index.
+
+    ``predict`` reads the three counter bytearrays directly: every index it
+    computes is already masked to its table size, so the generic
+    ``SaturatingCounters.predict`` modulo-and-compare wrapper is redundant
+    on this path (the tables stay shared with the component predictors, so
+    training through either view hits the same storage).
+    """
 
     def __init__(self, history_bits: int = 15, bht_entries: int = 4096):
         self.gshare = GsharePredictor(history_bits=history_bits)
         self.pas = PAsPredictor(history_bits=history_bits, bht_entries=bht_entries)
         # Selector counter high => trust gshare.
         self.selector = SaturatingCounters(1 << history_bits, bits=2)
+        # Hot-path aliases: raw counter tables plus the index masks.
+        self._gshare_table = self.gshare.counters._table
+        self._pas_table = self.pas.counters._table
+        self._selector_table = self.selector._table
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = self.gshare.index_mask
+        self._bht = self.pas._bht
+        self._bht_entries = bht_entries
 
     def predict(self, pc: int, history: int) -> HybridPrediction:
-        gshare_index = self.gshare.index(pc, history)
-        pas_index = self.pas.index(pc)
-        gshare_taken = self.gshare.counters.predict(gshare_index)
-        pas_taken = self.pas.counters.predict(pas_index)
-        use_gshare = self.selector.predict(gshare_index)
+        gshare_index = (pc ^ (history & self._history_mask)) & self._index_mask
+        pas_index = self._bht[pc % self._bht_entries]
+        gshare_taken = self._gshare_table[gshare_index] >= 2
+        pas_taken = self._pas_table[pas_index] >= 2
         return HybridPrediction(
-            taken=gshare_taken if use_gshare else pas_taken,
+            taken=gshare_taken if self._selector_table[gshare_index] >= 2 else pas_taken,
             gshare_taken=gshare_taken,
             pas_taken=pas_taken,
             gshare_index=gshare_index,

@@ -13,12 +13,18 @@ Two organizations, both from the paper:
   rare: three separate gshare tables of 64K, 16K and 8K 2-bit counters for
   B0, B1 and B2 respectively (24KB), spending most of the storage on the
   prediction that nearly every fetch needs.
+
+Both expose two query shapes over the same storage: :meth:`predict`
+returns a :class:`MultiPrediction` (the inspectable API), and
+:meth:`predict_pattern` returns the three direction bits packed into one
+int plus the raw table indices — the form the compiled-fetch-plan engine
+consumes, where the packed pattern directly keys a segment's precompiled
+fetch variant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import NamedTuple, Sequence, Tuple
 
 from repro.branch.counters import SaturatingCounters
 from repro.branch.gshare import GsharePredictor
@@ -35,13 +41,13 @@ def _tree_counter_index(position: int, path: Tuple[bool, ...]) -> int:
     raise ValueError(f"position {position} out of range (max 3 predictions/cycle)")
 
 
-@dataclass(frozen=True)
-class MultiPrediction:
+class MultiPrediction(NamedTuple):
     """Up to three predictions plus the state needed to update later.
 
     ``indices[i]`` is the table/row index that produced prediction ``i``;
     pass it back to :meth:`update` with the branch's position and the
-    *actual* outcomes of earlier same-fetch branches.
+    *actual* outcomes of earlier same-fetch branches.  A NamedTuple — one
+    is built per trace-cache fetch, so allocation cost matters.
     """
 
     taken: Tuple[bool, bool, bool]
@@ -78,6 +84,21 @@ class MultipleBranchPredictor:
         b2 = table[base + 3 + (b0 << 1 | b1)] >= 2
         return MultiPrediction(taken=(b0, b1, b2), indices=(row, row, row))
 
+    def predict_pattern(self, pc: int, history: int):
+        """The three tree predictions as ``(pattern, i0, i1, i2)``.
+
+        ``pattern`` packs B0 into bit 0, B1 into bit 1, B2 into bit 2 —
+        the key under which the fetch engine caches a segment's compiled
+        fetch variant.  Identical table walk to :meth:`predict`.
+        """
+        row = (pc ^ (history & self._history_mask)) & self._row_mask
+        table = self._table
+        base = row * 7
+        b0 = table[base] >= 2
+        b1 = table[base + 1 + b0] >= 2
+        b2 = table[base + 3 + (b0 << 1 | b1)] >= 2
+        return b0 | (b1 << 1) | (b2 << 2), row, row, row
+
     def update(self, index: int, position: int, path: Tuple[bool, ...], taken: bool) -> None:
         """Train the counter B_position selected by the actual earlier outcomes."""
         slot = index * 7 + _tree_counter_index(position, path)
@@ -101,15 +122,35 @@ class SplitMultiplePredictor:
         self.tables = [GsharePredictor(history_bits=min(history_bits, bits), table_bits=bits)
                        for bits in table_bits]
         self.history_bits = history_bits
+        # Hot-path aliases: (history mask, index mask, raw counters) per
+        # table — every index is masked to its table, so the counter read
+        # needs no modulo.
+        self._fast = [
+            ((1 << t.history_bits) - 1, t.index_mask, t.counters._table)
+            for t in self.tables
+        ]
 
     def predict(self, pc: int, history: int) -> MultiPrediction:
-        taken = []
-        indices = []
-        for table in self.tables:
-            index = table.index(pc, history)
-            taken.append(table.counters.predict(index))
-            indices.append(index)
-        return MultiPrediction(taken=tuple(taken), indices=tuple(indices))
+        (m0, x0, t0), (m1, x1, t1), (m2, x2, t2) = self._fast
+        i0 = (pc ^ (history & m0)) & x0
+        i1 = (pc ^ (history & m1)) & x1
+        i2 = (pc ^ (history & m2)) & x2
+        return MultiPrediction(
+            taken=(t0[i0] >= 2, t1[i1] >= 2, t2[i2] >= 2),
+            indices=(i0, i1, i2),
+        )
+
+    def predict_pattern(self, pc: int, history: int):
+        """Packed ``(pattern, i0, i1, i2)`` — see
+        :meth:`MultipleBranchPredictor.predict_pattern`."""
+        (m0, x0, t0), (m1, x1, t1), (m2, x2, t2) = self._fast
+        i0 = (pc ^ (history & m0)) & x0
+        i1 = (pc ^ (history & m1)) & x1
+        i2 = (pc ^ (history & m2)) & x2
+        return (
+            (t0[i0] >= 2) | ((t1[i1] >= 2) << 1) | ((t2[i2] >= 2) << 2),
+            i0, i1, i2,
+        )
 
     def update(self, index: int, position: int, path: Tuple[bool, ...], taken: bool) -> None:
         """``path`` is accepted for interface parity; the split tables

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.branch.counters import SaturatingCounters
 
 
@@ -15,13 +13,18 @@ class PAsPredictor:
     updated at retire (non-speculatively); this slightly lags fetch, which
     is the standard modeling choice for per-address history and matches a
     retire-updated BHT.
+
+    The BHT is a plain list of masked ints: each entry is a local-history
+    shift register, read once per prediction and updated with one shift-OR
+    per retire.  (A numpy vector here boxed every single-element read into
+    a numpy scalar — the opposite of what this access pattern wants.)
     """
 
     def __init__(self, history_bits: int = 15, bht_entries: int = 4096):
         self.history_bits = history_bits
         self.history_mask = (1 << history_bits) - 1
         self.bht_entries = bht_entries
-        self._bht = np.zeros(bht_entries, dtype=np.int64)
+        self._bht = [0] * bht_entries
         self.counters = SaturatingCounters(1 << history_bits, bits=2)
 
     def _bht_index(self, pc: int) -> int:
@@ -29,16 +32,16 @@ class PAsPredictor:
 
     def index(self, pc: int) -> int:
         """PHT index for this branch (its current local history)."""
-        return int(self._bht[self._bht_index(pc)])
+        return self._bht[pc % self.bht_entries]
 
     def predict(self, pc: int) -> bool:
-        return self.counters.predict(self.index(pc))
+        return self.counters.predict(self._bht[pc % self.bht_entries])
 
     def update(self, pc: int, index: int, taken: bool) -> None:
         """Update PHT at the prediction-time index, then shift local history."""
         self.counters.update(index, taken)
-        slot = self._bht_index(pc)
-        self._bht[slot] = ((int(self._bht[slot]) << 1) | int(taken)) & self.history_mask
+        slot = pc % self.bht_entries
+        self._bht[slot] = ((self._bht[slot] << 1) | int(taken)) & self.history_mask
 
     def storage_bits(self) -> int:
         return self.counters.storage_bits() + self.bht_entries * self.history_bits

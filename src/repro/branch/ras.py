@@ -16,24 +16,39 @@ class IdealReturnAddressStack:
     with unlimited depth, the only way it could mispredict is wrong-path
     corruption; the paper idealizes that away, and so do we by letting the
     core checkpoint and restore the stack pointer (here: full stack state).
+
+    ``snapshot()`` is copy-on-write: the materialized tuple is cached and
+    handed out again until the next push/pop dirties the stack, so a run
+    of checkpoints between call/return instructions — the common case,
+    since the core checkpoints every fetched branch — costs one tuple
+    build instead of one per checkpoint.  The cache slot doubles as the
+    version tag: ``None`` means "stack changed since last materialize".
     """
 
     def __init__(self):
         self._stack: List[int] = []
+        self._snap: Optional[tuple] = ()  # cached snapshot; None when stale
 
     def push(self, return_address: int) -> None:
         self._stack.append(return_address)
+        self._snap = None
 
     def pop(self) -> Optional[int]:
-        if self._stack:
-            return self._stack.pop()
+        stack = self._stack
+        if stack:
+            self._snap = None
+            return stack.pop()
         return None
 
     def snapshot(self) -> tuple:
-        return tuple(self._stack)
+        snap = self._snap
+        if snap is None:
+            self._snap = snap = tuple(self._stack)
+        return snap
 
     def restore(self, snapshot: tuple) -> None:
         self._stack = list(snapshot)
+        self._snap = snapshot if type(snapshot) is tuple else tuple(snapshot)
 
     def __len__(self) -> int:
         return len(self._stack)
@@ -49,6 +64,8 @@ class ReturnAddressStack(IdealReturnAddressStack):
         self.depth = depth
 
     def push(self, return_address: int) -> None:
-        if len(self._stack) == self.depth:
-            del self._stack[0]
-        self._stack.append(return_address)
+        stack = self._stack
+        if len(stack) == self.depth:
+            del stack[0]
+        stack.append(return_address)
+        self._snap = None

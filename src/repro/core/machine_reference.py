@@ -230,6 +230,11 @@ class Machine:
             # match a machine starting at the program entry.
             engine.restore((0, ()))
         self.engine = engine
+        # The core repairs from per-branch checkpoints, so it needs the
+        # engine to capture (GHR, RAS) snapshots — engines default to the
+        # capture-off fast path (warmed engines may also arrive with
+        # capture disabled by the front-end simulator).
+        engine.capture_snapshots = True
         self.fill_unit = getattr(self.engine, "fill_unit", None)
         core = config.core
 

@@ -1,18 +1,44 @@
-"""Factory: build a fetch engine (and its substrates) from a config."""
+"""Factory: build a fetch engine (and its substrates) from a config.
+
+Two complete front-end stacks can be wired:
+
+* the **fast** stack (default) — the array-backed predictors and
+  compiled-fetch-plan engines in :mod:`repro.branch` /
+  :mod:`repro.frontend.fetch` / :mod:`repro.trace.fill_unit`;
+* the **reference** stack (``REPRO_FAST_FRONTEND=0``) — the frozen seed
+  copies in :mod:`repro.branch.reference`,
+  :mod:`repro.frontend.fetch_reference` and
+  :mod:`repro.trace.fill_unit_reference`.
+
+Both produce byte-identical simulation results (pinned by
+``tests/test_frontend_parity.py`` and ``benchmarks/bench_frontend_fetch``);
+the reference stack exists as the known-good contract the fast one is
+measured and verified against.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Optional
 
+from repro.branch import reference as branch_reference
 from repro.branch.multiple import MultipleBranchPredictor, SplitMultiplePredictor
 from repro.config import FrontEndConfig
 from repro.isa.program import Program
 from repro.mem.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.frontend import fetch_reference
 from repro.frontend.fetch import ICacheFetchEngine, TraceFetchEngine
+from repro.trace import fill_unit_reference
 from repro.trace.bias_table import BranchBiasTable
 from repro.trace.fill_unit import FillUnit
 from repro.trace.trace_cache import TraceCache
+
+
+def fast_frontend_enabled() -> bool:
+    """True unless ``REPRO_FAST_FRONTEND=0`` selects the frozen reference
+    front end (engines, predictors, fill unit and bias table)."""
+    return os.environ.get("REPRO_FAST_FRONTEND", "1") != "0"
 
 
 def build_memory(config: FrontEndConfig, memory_config: Optional[MemoryConfig] = None) -> MemoryHierarchy:
@@ -27,27 +53,44 @@ def build_memory(config: FrontEndConfig, memory_config: Optional[MemoryConfig] =
     return MemoryHierarchy(base)
 
 
-def build_predictor(config: FrontEndConfig):
-    """The multiple branch predictor organization the config names."""
+def build_predictor(config: FrontEndConfig, fast: Optional[bool] = None):
+    """The multiple branch predictor organization the config names.
+
+    ``fast=False`` builds it from the frozen reference stack.
+    """
+    if fast is None:
+        fast = fast_frontend_enabled()
     if config.predictor == "tree":
-        return MultipleBranchPredictor(rows_bits=14)
+        cls = MultipleBranchPredictor if fast else branch_reference.MultipleBranchPredictor
+        return cls(rows_bits=14)
     if config.predictor == "split":
-        return SplitMultiplePredictor(table_bits=(16, 14, 13), history_bits=14)
+        cls = SplitMultiplePredictor if fast else branch_reference.SplitMultiplePredictor
+        return cls(table_bits=(16, 14, 13), history_bits=14)
     raise ValueError(f"unknown predictor kind {config.predictor!r}")
 
 
 def build_engine(program: Program, config: FrontEndConfig,
-                 memory_config: Optional[MemoryConfig] = None):
-    """Construct the complete front end described by ``config``."""
+                 memory_config: Optional[MemoryConfig] = None,
+                 fast: Optional[bool] = None):
+    """Construct the complete front end described by ``config``.
+
+    ``fast`` overrides the ``REPRO_FAST_FRONTEND`` selection: True builds
+    the optimized stack, False the frozen reference stack, None (default)
+    follows the environment.
+    """
+    if fast is None:
+        fast = fast_frontend_enabled()
     memory = build_memory(config, memory_config)
     if config.kind == "icache":
-        return ICacheFetchEngine(program, memory)
+        cls = ICacheFetchEngine if fast else fetch_reference.ICacheFetchEngine
+        return cls(program, memory)
     if config.kind != "tc":
         raise ValueError(f"unknown front end kind {config.kind!r}")
     trace_cache = TraceCache(n_lines=config.tc_lines, assoc=config.tc_assoc,
                              path_assoc=config.path_associativity)
+    bias_cls = BranchBiasTable if fast else fill_unit_reference.BranchBiasTable
     bias_table = (
-        BranchBiasTable(entries=config.bias_entries, threshold=config.promote_threshold)
+        bias_cls(entries=config.bias_entries, threshold=config.promote_threshold)
         if config.promote
         else None
     )
@@ -59,15 +102,17 @@ def build_engine(program: Program, config: FrontEndConfig,
             bias_threshold=config.static_bias_threshold,
             min_executions=config.static_min_executions,
         )
-    fill_unit = FillUnit(
+    fill_cls = FillUnit if fast else fill_unit_reference.FillUnit
+    fill_unit = fill_cls(
         trace_cache=trace_cache,
         bias_table=bias_table,
         policy=config.packing,
         promote=config.promote,
         static_promotions=static_promotions,
     )
-    predictor = build_predictor(config)
-    return TraceFetchEngine(
+    predictor = build_predictor(config, fast=fast)
+    engine_cls = TraceFetchEngine if fast else fetch_reference.TraceFetchEngine
+    return engine_cls(
         program=program,
         memory=memory,
         trace_cache=trace_cache,

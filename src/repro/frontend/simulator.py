@@ -19,7 +19,12 @@ from typing import List, Optional, Tuple
 
 from repro.config import FrontEndConfig
 from repro.frontend.build import build_engine
-from repro.frontend.fetch import FetchResult, TraceFetchEngine
+from repro.frontend.fetch import (
+    FetchResult,
+    PredRecord,
+    TraceFetchEngine,
+    compile_variant,
+)
 from repro.frontend.stats import CycleCategory, FetchReason, FetchRecord, FetchStats
 from repro.isa.executor import run_oracle
 from repro.isa.instruction import Instruction
@@ -104,13 +109,48 @@ class FrontEndSimulator:
         n = len(oracle)
         i = 0
         pc = self.program.entry
-        fetch = self.engine.fetch
+        engine = self.engine
+        fetch = engine.fetch
         stats = self.stats
         cycle_accounting = stats.cycle_accounting
         match = self._match
         retire = self._retire
         record_fetch = self._record_fetch
         advance = self._advance
+        # Fast-retire locals for fetches served from a compiled variant:
+        # the variant precomputes the whole fetch outcome, so matching it
+        # against the oracle reduces to comparing its branch directions
+        # and its successor, and retiring it reduces to the fill unit's
+        # compiled event feed plus batched architectural-state updates.
+        fill_unit = self.fill_unit
+        # getattr: the frozen reference fill unit has no compiled feed, but
+        # reference engines never emit variant results either.
+        retire_compiled = getattr(fill_unit, "retire_compiled", None)
+        note_recovery = getattr(fill_unit, "note_recovery", None)
+        engine_restore = engine.restore
+        inactive_issue = getattr(engine, "inactive_issue", False)
+        # The fast paths bypass PredRecord and feed the predictor the raw
+        # (token, position) pair train_branch would have unpacked.
+        predictor = getattr(engine, "predictor", None)
+        predictor_update = predictor.update if predictor is not None else None
+        indirect_update = engine.indirect.update
+        ghr_mask = engine.ghr.mask
+        arch_ras = self._arch_ras
+        arch_ghr = self._arch_ghr
+        trap_penalty = self.config.trap_penalty
+        mispredict_penalty = self.config.mispredict_penalty
+        misfetch_penalty = self.config.misfetch_penalty
+        #: variant -> fetch count; histogram/attribute accounting for fast
+        #: fetches is deferred and folded into stats once after the loop.
+        var_counts: dict = {}
+        #: (variant, fetch-time predictions_used) -> count for fetches that
+        #: retired a compiled *mispredicted prefix* (recorded under
+        #: MISPRED_BR with the original fetch's prediction count, exactly
+        #: like the generic path).
+        mis_counts: dict = {}
+        trap_cycles = 0
+        branch_miss_cycles = 0
+        misfetch_cycles = 0
         # Accumulate per-fetch bookkeeping in locals and fold it into the
         # stats Counters once after the loop: Counter.__getitem__ hashes an
         # enum member per access, which showed up in the hot-loop profile.
@@ -120,6 +160,186 @@ class FrontEndSimulator:
         while i < n:
             result = fetch(pc)
             cycles += 1
+            variant = getattr(result, "variant", None)
+            if variant is not None:
+                i_end = i + variant.n_active
+                if i_end <= n:
+                    fail_pos = -1
+                    for pos, direction in variant.branch_checks:
+                        if oracle[i + pos][1] != direction:
+                            fail_pos = pos
+                            break
+                    if fail_pos < 0:
+                        next_pc = result.next_pc
+                        if i_end < n and (next_pc is None
+                                          or next_pc != oracle[i_end][0].addr):
+                            # Every supplied direction matched but the
+                            # successor is wrong (stale indirect/return
+                            # target) or unknown (misfetch): the whole
+                            # fetch still retires, then the front end
+                            # repairs and refetches from the oracle pc.
+                            retire_compiled(variant)
+                            if variant.ghr_count:
+                                arch_ghr = ((arch_ghr << variant.ghr_count)
+                                            | variant.ghr_bits) & ghr_mask
+                            if variant.ras_pushes:
+                                arch_ras.extend(variant.ras_pushes)
+                            if variant.ret_pop and arch_ras:
+                                arch_ras.pop()
+                            if variant.n_indirect:
+                                indirect_update(variant.last_addr,
+                                                oracle[i_end - 1][2])
+                            train_meta = variant.train_meta
+                            if train_meta:
+                                tokens = result.pred_tokens
+                                for k, (path, taken) in enumerate(train_meta):
+                                    predictor_update(tokens[k], k, path, taken)
+                            var_counts[variant] = var_counts.get(variant, 0) + 1
+                            useful_fetches += 1
+                            i = i_end
+                            if next_pc is None:
+                                cycles += misfetch_penalty
+                                misfetch_cycles += misfetch_penalty
+                            else:
+                                stats.indirect_mispredicts += 1
+                                self.recoveries += 1
+                                cycles += mispredict_penalty
+                                branch_miss_cycles += mispredict_penalty
+                            engine_restore((arch_ghr, tuple(arch_ras)))
+                            note_recovery()
+                            if variant.trap_last:
+                                cycles += trap_penalty
+                                trap_cycles += trap_penalty
+                            pc = oracle[i][0].addr
+                            continue
+                        # The whole fetch is on the correct path and its
+                        # successor prediction holds: retire it wholesale.
+                        retire_compiled(variant)
+                        if variant.ghr_count:
+                            arch_ghr = ((arch_ghr << variant.ghr_count)
+                                        | variant.ghr_bits) & ghr_mask
+                        if variant.ras_pushes:
+                            arch_ras.extend(variant.ras_pushes)
+                        if variant.ret_pop and arch_ras:
+                            arch_ras.pop()
+                        if variant.n_indirect:
+                            indirect_update(variant.last_addr, oracle[i_end - 1][2])
+                        train_meta = variant.train_meta
+                        if train_meta:
+                            tokens = result.pred_tokens
+                            for k, (path, taken) in enumerate(train_meta):
+                                predictor_update(tokens[k], k, path, taken)
+                        var_counts[variant] = var_counts.get(variant, 0) + 1
+                        useful_fetches += 1
+                        i = i_end
+                        if i >= n:
+                            break
+                        if variant.trap_last:
+                            cycles += trap_penalty
+                            trap_cycles += trap_penalty
+                        pc = result.next_pc
+                        continue
+                    else:
+                        dyn_k = variant.dyn_pos.get(fail_pos)
+                        if dyn_k is not None:
+                            # A dynamic branch was mispredicted at a
+                            # non-diverging slot: the correct-path prefix of
+                            # this fetch is exactly the compiled variant
+                            # with that prediction bit flipped (it diverges
+                            # there), so the prefix retires compiled too.
+                            segment = result.segment
+                            variants = segment._variants
+                            key2 = variant.key ^ (1 << dyn_k)
+                            prefix = variants.get(key2)
+                            if prefix is None:
+                                prefix = compile_variant(segment, key2,
+                                                         inactive_issue)
+                                variants[key2] = prefix
+                            stats.cond_mispredicts += 1
+                            retire_compiled(prefix)
+                            if prefix.ghr_count:
+                                arch_ghr = ((arch_ghr << prefix.ghr_count)
+                                            | prefix.ghr_bits) & ghr_mask
+                            if prefix.ras_pushes:
+                                arch_ras.extend(prefix.ras_pushes)
+                            tokens = result.pred_tokens
+                            for k, (path, taken) in enumerate(prefix.train_meta):
+                                predictor_update(tokens[k], k, path, taken)
+                            mis_key = (prefix, result.predictions_used)
+                            mis_counts[mis_key] = mis_counts.get(mis_key, 0) + 1
+                            useful_fetches += 1
+                            i += prefix.n_active
+                            if i >= n:
+                                break
+                            self.recoveries += 1
+                            cycles += mispredict_penalty
+                            branch_miss_cycles += mispredict_penalty
+                            engine_restore((arch_ghr, tuple(arch_ras)))
+                            note_recovery()
+                            pc = oracle[i][0].addr
+                            continue
+                        elif variant.divergence and fail_pos == variant.n_active - 1:
+                            # The trace disagreed with a (wrong) prediction
+                            # at the diverging branch, so the inactively
+                            # issued remainder is on the correct path: when
+                            # the oracle follows the embedded path to the
+                            # segment's end, the consumed instructions are
+                            # exactly the full-trace variant (the one whose
+                            # key matches every embedded direction), and it
+                            # retires compiled.
+                            segment = result.segment
+                            variants = segment._variants
+                            key2 = segment._trace_key
+                            vstar = variants.get(key2)
+                            if vstar is None:
+                                vstar = compile_variant(segment, key2,
+                                                        inactive_issue)
+                                variants[key2] = vstar
+                            i_star = i + vstar.n_active
+                            ok2 = i_star <= n
+                            if ok2:
+                                for pos2, d2 in vstar.branch_checks:
+                                    if oracle[i + pos2][1] != d2:
+                                        ok2 = False
+                                        break
+                            if ok2:
+                                stats.cond_mispredicts += 1
+                                retire_compiled(vstar)
+                                if vstar.ghr_count:
+                                    arch_ghr = ((arch_ghr << vstar.ghr_count)
+                                                | vstar.ghr_bits) & ghr_mask
+                                if vstar.ras_pushes:
+                                    arch_ras.extend(vstar.ras_pushes)
+                                if vstar.ret_pop and arch_ras:
+                                    arch_ras.pop()
+                                if vstar.n_indirect:
+                                    indirect_update(vstar.last_addr,
+                                                    oracle[i_star - 1][2])
+                                # Only the branches the fetch actually
+                                # predicted train (the inactive remainder
+                                # carries no prediction records).
+                                tokens = result.pred_tokens
+                                train_meta = vstar.train_meta
+                                for k in range(variant.n_dyn):
+                                    path, taken = train_meta[k]
+                                    predictor_update(tokens[k], k, path, taken)
+                                mis_key = (vstar, result.predictions_used)
+                                mis_counts[mis_key] = (
+                                    mis_counts.get(mis_key, 0) + 1)
+                                useful_fetches += 1
+                                i = i_star
+                                if i >= n:
+                                    break
+                                self.recoveries += 1
+                                cycles += mispredict_penalty
+                                branch_miss_cycles += mispredict_penalty
+                                engine_restore((arch_ghr, tuple(arch_ras)))
+                                note_recovery()
+                                if vstar.trap_last:
+                                    cycles += trap_penalty
+                                    trap_cycles += trap_penalty
+                                pc = oracle[i][0].addr
+                                continue
             stall = result.stall_cycles
             if stall:
                 cycles += stall
@@ -127,10 +347,21 @@ class FrontEndSimulator:
             if not result.active:
                 # Off-image fetch cannot happen on the correct path.
                 raise RuntimeError(f"empty fetch at pc={pc}")
+            if variant is not None and result.pred_records is None:
+                # This variant fetch falls back to the generic walk: build
+                # the PredRecords the fetch deferred.
+                tokens = result.pred_tokens
+                result.pred_records = [
+                    PredRecord(addr=addr, position=k, token=tokens[k],
+                               predicted=p)
+                    for addr, k, p in variant.pred_meta
+                ]
 
+            self._arch_ghr = arch_ghr
             useful, i, event = match(result, oracle, i, n)
             useful_fetches += 1
             retire(useful, oracle, i)
+            arch_ghr = self._arch_ghr
             record_fetch(result, useful, event)
 
             if i >= n:
@@ -140,10 +371,41 @@ class FrontEndSimulator:
             pc = advance(result, event, next_oracle_pc, useful)
             cycles = self.cycles
         self.cycles = cycles
+        self._arch_ghr = arch_ghr
         cycle_accounting[CycleCategory.USEFUL_FETCH] += useful_fetches
         if miss_cycles:
             cycle_accounting[CycleCategory.CACHE_MISSES] += miss_cycles
             stats.cache_miss_cycles += miss_cycles
+        if trap_cycles:
+            cycle_accounting[CycleCategory.TRAPS] += trap_cycles
+        if branch_miss_cycles:
+            cycle_accounting[CycleCategory.BRANCH_MISSES] += branch_miss_cycles
+        if misfetch_cycles:
+            cycle_accounting[CycleCategory.MISFETCHES] += misfetch_cycles
+        if mis_counts:
+            size_reason = stats.size_reason_histogram
+            predictions = stats.predictions_histogram
+            for (prefix, preds), count in mis_counts.items():
+                stats.fetches += count
+                stats.tc_fetches += count
+                stats.useful_instructions += prefix.n_active * count
+                size_reason[(prefix.n_active, FetchReason.MISPRED_BR)] += count
+                predictions[preds] += count
+                stats.cond_branches += prefix.n_dyn * count
+                stats.promoted_branches += prefix.n_promoted * count
+                stats.indirect_jumps += prefix.n_indirect * count
+        if var_counts:
+            size_reason = stats.size_reason_histogram
+            predictions = stats.predictions_histogram
+            for variant, count in var_counts.items():
+                stats.fetches += count
+                stats.tc_fetches += count
+                stats.useful_instructions += variant.n_active * count
+                size_reason[(variant.n_active, variant.raw_reason)] += count
+                predictions[variant.predictions_used] += count
+                stats.cond_branches += variant.n_dyn * count
+                stats.promoted_branches += variant.n_promoted * count
+                stats.indirect_jumps += variant.n_indirect * count
         return self._build_result()
 
     # --------------------------------------------------------------- match
@@ -325,7 +587,9 @@ class FrontEndSimulator:
             recoveries=self.recoveries,
             l1i_misses=engine.memory.l1i.stats.misses,
         )
-        if isinstance(engine, TraceFetchEngine):
+        # Duck-typed: matches both the fast TraceFetchEngine and the frozen
+        # reference copy (repro.frontend.fetch_reference).
+        if getattr(engine, "trace_cache", None) is not None:
             result.tc_hits = engine.trace_cache.stats.hits
             result.tc_misses = engine.trace_cache.stats.misses
             result.tc_writes = engine.trace_cache.stats.writes

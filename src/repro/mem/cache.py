@@ -46,33 +46,41 @@ class SetAssocCache:
             raise ValueError("set count must be a power of two")
         self._set_mask = self.n_sets - 1
         self._line_shift = line_bytes.bit_length() - 1
+        self._tag_shift = self.n_sets.bit_length() - 1
         # Each set: list of tags in LRU order (least recent first).
         self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
         self.stats = CacheStats()
 
     def _index_tag(self, addr: int) -> tuple:
         line = addr >> self._line_shift
-        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+        return line & self._set_mask, line >> self._tag_shift
 
     def probe(self, addr: int) -> bool:
         """Hit check without LRU update or allocation."""
-        index, tag = self._index_tag(addr)
-        return tag in self._sets[index]
+        line = addr >> self._line_shift
+        return (line >> self._tag_shift) in self._sets[line & self._set_mask]
 
     def access(self, addr: int) -> bool:
-        """Access a byte address: returns True on hit.  Misses allocate."""
-        index, tag = self._index_tag(addr)
-        ways = self._sets[index]
-        if tag in ways:
+        """Access a byte address: returns True on hit.  Misses allocate.
+
+        The hit path does a single way scan: ``list.remove`` both finds
+        and unlinks the tag (the ``in`` + ``remove`` pair it replaces
+        scanned the ways twice per hit).
+        """
+        line = addr >> self._line_shift
+        tag = line >> self._tag_shift
+        ways = self._sets[line & self._set_mask]
+        try:
             ways.remove(tag)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.assoc:
+                ways.pop(0)
             ways.append(tag)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        if len(ways) >= self.assoc:
-            ways.pop(0)
+            return False
         ways.append(tag)
-        return False
+        self.stats.hits += 1
+        return True
 
     def touch(self, addr: int) -> None:
         """Allocate/refresh a line without counting stats (e.g. prefetch)."""

@@ -43,17 +43,25 @@ class MemoryHierarchy:
         self.l1i = SetAssocCache(cfg.l1i_bytes, cfg.l1i_assoc, cfg.l1i_line_bytes, "L1I")
         self.l1d = SetAssocCache(cfg.l1d_bytes, cfg.l1d_assoc, cfg.l1d_line_bytes, "L1D")
         self.l2 = SetAssocCache(cfg.l2_bytes, cfg.l2_assoc, cfg.l2_line_bytes, "L2")
+        # Hot-path shortcuts: the fetch engines call the instruction side
+        # once per fetch (plus once per line crossing), so the frozen
+        # config latencies and bound cache methods are hoisted here.
+        self._l1i_hit_latency = cfg.l1i_hit_latency
+        self._l2_latency = cfg.l2_latency
+        self._memory_latency = cfg.memory_latency
+        self._l1i_access = self.l1i.access
+        self._l2_access = self.l2.access
 
     # --- instruction side -------------------------------------------------
 
     def inst_line_latency(self, inst_addr: int) -> int:
         """Latency to obtain the icache line holding instruction ``inst_addr``."""
         byte_addr = inst_addr * INST_BYTES
-        if self.l1i.access(byte_addr):
-            return self.config.l1i_hit_latency
-        if self.l2.access(byte_addr):
-            return self.config.l2_latency
-        return self.config.memory_latency
+        if self._l1i_access(byte_addr):
+            return self._l1i_hit_latency
+        if self._l2_access(byte_addr):
+            return self._l2_latency
+        return self._memory_latency
 
     def inst_line_hit(self, inst_addr: int) -> bool:
         """Probe-only: is the line already in the L1I?"""

@@ -1,36 +1,25 @@
-"""The fill unit: builds trace segments from the retired instruction stream.
+"""Frozen reference copies of the seed fill unit and bias table (PR 4).
 
-The fill unit collects retired instructions into fetch blocks (a block ends
-at a non-promoted conditional branch, a segment-ending instruction, or a
-16-instruction cap) and merges blocks into a pending segment under one of
-the paper's block policies:
+**Verbatim copies** of :class:`repro.trace.fill_unit.FillUnit` and
+:class:`repro.trace.bias_table.BranchBiasTable` exactly as they stood
+before the fast front-end rewrite.  ``REPRO_FAST_FRONTEND=0`` wires a
+reference trace-cache front end from these classes (see
+:mod:`repro.frontend.build`) so the optimized fill path can be pinned
+byte-identical against known-good behaviour.
 
-* **atomic** (baseline): a block merges only if it fits entirely; otherwise
-  the pending segment is finalized and the block starts a new one;
-* **unregulated packing**: blocks split at any instruction — segments are
-  greedily packed to 16;
-* **chunked packing (n=2, n=4)**: blocks split only at multiples of n
-  instructions, halving/quartering the number of distinct split points;
-* **cost-regulated packing**: a block may split only when the pending
-  segment has at least half its length free, OR the pending segment
-  contains a backward conditional branch with displacement <= 32
-  instructions (a tight loop worth unrolling).
-
-With promotion enabled, every retiring conditional branch consults the
-:class:`~repro.trace.bias_table.BranchBiasTable`; promoted branches are
-embedded with a static prediction, do not terminate blocks, and do not
-count against the three-dynamic-branch limit.
+Do not optimize or otherwise edit this module; it is the contract.
 """
+
 
 from __future__ import annotations
 
 import enum
 import os
 from collections import Counter
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.isa.instruction import Instruction
-from repro.trace.bias_table import BranchBiasTable
 from repro.trace.segment import (
     MAX_SEGMENT_BRANCHES,
     MAX_SEGMENT_INSTRUCTIONS,
@@ -38,29 +27,8 @@ from repro.trace.segment import (
     SegmentBranch,
     TraceSegment,
 )
+from repro.trace.fill_unit import PackingPolicy
 from repro.trace.trace_cache import TraceCache
-
-
-class PackingPolicy(enum.Enum):
-    """The fill unit's block-merge policies (paper section 5)."""
-
-    ATOMIC = "atomic"
-    UNREGULATED = "unregulated"
-    CHUNK2 = "chunk2"
-    CHUNK4 = "chunk4"
-    COST_REGULATED = "cost_regulated"
-
-    @property
-    def granule(self) -> int:
-        if self is PackingPolicy.CHUNK2:
-            return 2
-        if self is PackingPolicy.CHUNK4:
-            return 4
-        return 1
-
-    @property
-    def packs(self) -> bool:
-        return self is not PackingPolicy.ATOMIC
 
 
 #: One instruction queued in the fill unit: ``(inst, direction, promoted)``.
@@ -111,35 +79,11 @@ class FillUnit:
         self._segment_memo: dict = {}
         self.finalize_reasons: Counter = Counter()
         self.segments_built = 0
-        #: Compiled-retire state machine: the merge/finalize cascade a
-        #: compiled fetch plan triggers is a pure function of the fill
-        #: unit's (pending, block) state, the plan, and the bias table's
-        #: promotion responses — so each distinct state is interned as a
-        #: node and each (plan, responses) edge out of it replays as
-        #: "insert these memoized segments, move to that node".
-        #: node: [edges, pending_slots, block_slots, pending_dyn,
-        #: recovery_edge] — edges maps (plan id, bias responses) ->
-        #: (plan, finalized segments, target node); recovery_edge caches
-        #: what :meth:`note_recovery` finalizes from this state (every
-        #: recovery ends in the empty state).
-        self._state_nodes: dict = {}
-        #: The empty (pending, block) state, pre-interned: every recovery
-        #: and flush lands here, so it is the most-visited node by far.
-        self._empty_node: list = [{}, (), (), 0, None]
-        self._state_nodes[((), ())] = self._empty_node
-        self._cur_node: Optional[list] = None
-        #: True while ``_cur_node`` is authoritative and the live
-        #: ``_pending``/``_block`` lists lag behind it (edge-hit fast
-        #: transitions don't touch them; see :meth:`_materialize`).
-        self._state_stale = False
-        self._recording: Optional[list] = None
 
     # ------------------------------------------------------------- retire
 
     def retire(self, inst: Instruction, taken: Optional[bool] = None) -> None:
         """Feed one retired instruction (with its outcome if a branch)."""
-        self._materialize()
-        self._cur_node = None  # per-instruction feed leaves the state machine
         op = inst.op
         block = self._block
         if op.is_cond_branch:
@@ -147,7 +91,8 @@ class FillUnit:
                 raise ValueError(f"retiring branch {inst} without an outcome")
             promoted = False
             if self.promote:
-                promoted = self.bias_table.update_fast(inst.addr, taken)
+                entry = self.bias_table.update(inst.addr, taken)
+                promoted = entry.promoted and entry.promoted_dir == taken
             elif self.static_promotions is not None:
                 static = self.static_promotions.get(inst.addr)
                 promoted = static is not None and static.direction == taken
@@ -179,10 +124,8 @@ class FillUnit:
         retired instruction — this is the front-end simulator's retire
         path, executed once per simulated instruction.
         """
-        self._materialize()
-        self._cur_node = None  # batch feed leaves the state machine
         block = self._block
-        bias_update = self.bias_table.update_fast if self.promote else None
+        bias_update = self.bias_table.update if self.promote else None
         statics = self.static_promotions
         merge = self._merge_block
         cap = MAX_SEGMENT_INSTRUCTIONS
@@ -195,7 +138,8 @@ class FillUnit:
                     raise ValueError(f"retiring branch {inst} without an outcome")
                 promoted = False
                 if bias_update is not None:
-                    promoted = bias_update(inst.addr, taken)
+                    entry = bias_update(inst.addr, taken)
+                    promoted = entry.promoted and entry.promoted_dir == taken
                 elif statics is not None:
                     static = statics.get(inst.addr)
                     promoted = static is not None and static.direction == taken
@@ -219,170 +163,14 @@ class FillUnit:
                     self._block = block
                     merge(full, False, 0)
 
-    #: Bound on interned compiled-retire states; beyond it new states stop
-    #: being cached (the transition still executes, uncached).  In practice
-    #: programs settle into a few hundred states.
-    MAX_STATE_NODES = 1 << 16
-
-    def retire_compiled(self, plan) -> None:
-        """Feed one compiled fetch plan's retirements at once.
-
-        ``plan`` is a compiled fetch variant (see
-        :func:`repro.frontend.fetch.compile_variant`) exposing
-        ``fill_branches`` — its conditional branches as ``(addr, taken)``
-        in retire order — and ``fill_events``, its event-compressed slot
-        walk.  Behaviour is identical to feeding the plan's slots through
-        :meth:`retire_batch`.
-
-        The bias table is consulted live (promotion state evolves between
-        fetches of the same plan); everything downstream of the responses
-        — the block/pending merge cascade and the segments it finalizes —
-        is deterministic given the current fill state, so it replays from
-        the state machine's edge cache when this (state, plan, responses)
-        combination has run before.
-        """
-        bias_update = self.bias_table.update_fast if self.promote else None
-        statics = self.static_promotions
-        responses = 0
-        if bias_update is not None:
-            k = 0
-            for addr, taken in plan.fill_branches:
-                if bias_update(addr, taken):
-                    responses |= 1 << k
-                k += 1
-        elif statics is not None:
-            k = 0
-            for addr, taken in plan.fill_branches:
-                static = statics.get(addr)
-                if static is not None and static.direction == taken:
-                    responses |= 1 << k
-                k += 1
-        node = self._cur_node
-        if node is None:
-            # _cur_node is None only when the live lists are current.
-            node = self._intern_state()
-        if node is not None:
-            # Int edge key: a 16-inst segment holds < 16 branches, so the
-            # responses mask fits in 16 bits under the plan's id().  The
-            # stored plan is identity-checked below, which also pins it
-            # against id() reuse.
-            edge = node[0].get((id(plan) << 16) | responses)
-            if edge is not None and edge[0] is plan:
-                insert = self.trace_cache.insert
-                reasons = self.finalize_reasons
-                segments = edge[1]
-                for segment, reason in segments:
-                    insert(segment)
-                    reasons[reason] += 1
-                self.segments_built += len(segments)
-                self._cur_node = edge[2]
-                self._state_stale = True
-                return
-        self._materialize()
-        recording: list = []
-        self._recording = recording
-        self._replay_events(plan.fill_events, responses)
-        self._recording = None
-        nxt = self._intern_state()
-        if node is not None and nxt is not None:
-            node[0][(id(plan) << 16) | responses] = (plan, tuple(recording), nxt)
-        self._cur_node = nxt
-
-    def _intern_state(self) -> Optional[list]:
-        """Intern the current (pending, block) contents as a state node.
-
-        Must be called with the live lists current.  A slot is identified
-        by ``(addr, direction, promoted)`` — a program address names a
-        unique static instruction (the same convention as the segment
-        memo).  Returns None once the node budget is exhausted.
-        """
-        key = (
-            tuple([(inst.addr, d, p) for inst, d, p in self._pending]),
-            tuple([(inst.addr, d, p) for inst, d, p in self._block]),
-        )
-        node = self._state_nodes.get(key)
-        if node is None:
-            if len(self._state_nodes) >= self.MAX_STATE_NODES:
-                return None
-            node = [{}, tuple(self._pending), tuple(self._block),
-                    self._pending_dyn, None]
-            self._state_nodes[key] = node
-        return node
-
-    def _materialize(self) -> None:
-        """Copy the current node's contents back into the live lists.
-
-        Edge-hit transitions advance ``_cur_node`` without touching
-        ``_pending``/``_block``; anything that executes against the live
-        lists (an edge miss, the generic retire paths, recovery, flush)
-        calls this first.
-        """
-        if self._state_stale:
-            node = self._cur_node
-            self._pending = list(node[1])
-            self._block = list(node[2])
-            self._pending_dyn = node[3]
-            self._state_stale = False
-
-    def _replay_events(self, events, responses: int) -> None:
-        """Execute a compiled event list against the live fill state.
-
-        ``responses`` carries the bias table's promotion answers for the
-        plan's conditional branches (bit ``k`` for the ``k``-th branch),
-        already computed — and their side effects applied — by
-        :meth:`retire_compiled`.
-        """
-        block = self._block
-        merge = self._merge_block
-        cap = MAX_SEGMENT_INSTRUCTIONS
-        branch_index = 0
-        for kind, payload in events:
-            if kind == 0:
-                run_len = len(payload)
-                room = cap - len(block)
-                if run_len < room:
-                    block.extend(payload)
-                else:
-                    start = 0
-                    while run_len - start >= room:
-                        block.extend(payload[start:start + room])
-                        start += room
-                        full, block = block, []
-                        self._block = block
-                        merge(full, False, 0)
-                        room = cap
-                    if start < run_len:
-                        block.extend(payload[start:])
-            elif kind == 1:
-                inst, taken = payload
-                promoted = bool((responses >> branch_index) & 1)
-                branch_index += 1
-                block.append((inst, taken, promoted))
-                if not promoted:
-                    full, block = block, []
-                    self._block = block
-                    merge(full, False, 1)
-                elif len(block) >= cap:
-                    full, block = block, []
-                    self._block = block
-                    merge(full, False, 0)
-            else:
-                block.append(payload)
-                full, block = block, []
-                self._block = block
-                merge(full, True, 0)
-
     def flush(self) -> None:
         """Finalize any partial state (end of simulation)."""
-        self._materialize()
         if self._block:
             # A partial block never holds a dynamic branch: a non-promoted
             # conditional branch terminates its block at retire time.
             block, self._block = self._block, []
             self._merge_block(block, False, 0)
         self._finalize(FinalizeReason.FLUSH)
-        # Pending and block are both empty now: the known empty state.
-        self._cur_node = self._empty_node
 
     def note_recovery(self) -> None:
         """A branch misprediction flushed the pipeline.
@@ -393,41 +181,11 @@ class FillUnit:
         engine never looks up (a closed loop whose block boundaries never
         coincide with the 16-instruction packing stride becomes
         unreachable in the trace cache).
-
-        What a recovery finalizes is a pure function of the current fill
-        state and always lands in the empty state, so from a known state
-        node it replays as a cached edge — on the compiled fetch path every
-        misprediction takes a recovery, making this the second-hottest
-        transition after :meth:`retire_compiled`'s.
         """
-        node = self._cur_node
-        if node is not None:
-            edge = node[4]
-            if edge is not None:
-                insert = self.trace_cache.insert
-                reasons = self.finalize_reasons
-                for segment, reason in edge:
-                    insert(segment)
-                    reasons[reason] += 1
-                self.segments_built += len(edge)
-                self._pending = []
-                self._block = []
-                self._pending_dyn = 0
-                self._state_stale = False
-                self._cur_node = self._empty_node
-                return
-        self._materialize()
-        recording: list = []
-        self._recording = recording
         if self._block:
             block, self._block = self._block, []
             self._merge_block(block, False, 0)
         self._finalize(FinalizeReason.RECOVERY)
-        self._recording = None
-        if node is not None:
-            node[4] = tuple(recording)
-        # Pending and block are both empty now: the known empty state.
-        self._cur_node = self._empty_node
 
     # -------------------------------------------------------------- merging
 
@@ -542,9 +300,6 @@ class FillUnit:
         self.trace_cache.insert(segment)
         self.finalize_reasons[reason] += 1
         self.segments_built += 1
-        recording = self._recording
-        if recording is not None:
-            recording.append((segment, reason))
 
     def _build_segment(self, slots: List[_Slot],
                        reason: FinalizeReason) -> TraceSegment:
@@ -577,3 +332,88 @@ class FillUnit:
         if VALIDATE_SEGMENTS:
             segment.validate()
         return segment
+
+
+# ----- frozen copy of repro.trace.bias_table -----
+
+@dataclass
+class BiasEntry:
+    tag: int
+    direction: bool       # previous outcome
+    count: int            # consecutive occurrences of ``direction``
+    promoted: bool = False
+    promoted_dir: bool = False
+
+
+class BranchBiasTable:
+    """Direct-mapped, tagged table of :class:`BiasEntry` (default 8K)."""
+
+    def __init__(self, entries: int = 8192, threshold: int = 64, counter_bits: int = 10):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.entries = entries
+        self.threshold = threshold
+        self.count_cap = (1 << counter_bits) - 1
+        if self.count_cap < threshold:
+            raise ValueError("counter too narrow for threshold")
+        self._table: List[Optional[BiasEntry]] = [None] * entries
+        self.promotions = 0
+        self.demotions = 0
+
+    def _slot(self, pc: int) -> int:
+        return pc % self.entries
+
+    def lookup(self, pc: int) -> Optional[BiasEntry]:
+        entry = self._table[self._slot(pc)]
+        if entry is not None and entry.tag == pc:
+            return entry
+        return None
+
+    def update(self, pc: int, taken: bool) -> BiasEntry:
+        """Record a retired outcome; returns the (possibly new) entry."""
+        slot = self._slot(pc)
+        entry = self._table[slot]
+        if entry is None or entry.tag != pc:
+            # Allocate, evicting any conflicting branch.  The evicted branch
+            # loses its promoted status (a future bias-table miss demotes).
+            entry = BiasEntry(tag=pc, direction=taken, count=1)
+            self._table[slot] = entry
+            return entry
+        if taken == entry.direction:
+            if entry.count < self.count_cap:
+                entry.count += 1
+        else:
+            entry.direction = taken
+            entry.count = 1
+        self._apply_promotion_rules(entry)
+        return entry
+
+    def _apply_promotion_rules(self, entry: BiasEntry) -> None:
+        if not entry.promoted:
+            if entry.count >= self.threshold:
+                entry.promoted = True
+                entry.promoted_dir = entry.direction
+                self.promotions += 1
+            return
+        # Promoted: demote on >= 2 consecutive outcomes against the
+        # promoted direction.
+        if entry.direction != entry.promoted_dir and entry.count >= 2:
+            entry.promoted = False
+            self.demotions += 1
+            # The run in the new direction may itself qualify immediately.
+            if entry.count >= self.threshold:
+                entry.promoted = True
+                entry.promoted_dir = entry.direction
+                self.promotions += 1
+
+    def is_promoted(self, pc: int) -> bool:
+        entry = self.lookup(pc)
+        return entry is not None and entry.promoted
+
+    def promoted_direction(self, pc: int) -> Optional[bool]:
+        entry = self.lookup(pc)
+        if entry is not None and entry.promoted:
+            return entry.promoted_dir
+        return None

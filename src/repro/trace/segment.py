@@ -71,6 +71,17 @@ class TraceSegment:
     #: event-compressed fetch walk, built on first fetch (see
     #: :meth:`fetch_plan`).
     _fetch_plan: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
+    #: predicted-pattern -> compiled fetch variant (see
+    #: :func:`repro.frontend.fetch.compile_variant`); populated lazily by
+    #: the fast fetch engine, never read by the reference stack.
+    _variants: Optional[dict] = field(default=None, init=False, repr=False, compare=False)
+    #: mask selecting the predictor-pattern bits this segment's dynamic
+    #: branches actually consume: ``(1 << num_dynamic) - 1``.
+    _pattern_mask: int = field(default=-1, init=False, repr=False, compare=False)
+    #: the pattern whose bit ``k`` is the embedded direction of the
+    #: ``k``-th dynamic branch — the key of the variant that follows the
+    #: trace path end to end (valid once ``_pattern_mask`` is computed).
+    _trace_key: int = field(default=0, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -50,6 +50,10 @@ class TraceCache:
         # Each set: list of segments in LRU order (least recent first).
         self._sets: List[List[TraceSegment]] = [[] for _ in range(self.n_sets)]
         self.stats = TraceCacheStats()
+        #: content-change epoch: bumped on every insert/flush so the fetch
+        #: engine's per-pc candidate memo can invalidate in O(1).  (LRU
+        #: reordering does not change membership, so hits leave it alone.)
+        self.epoch = 0
 
     def _set_index(self, start_addr: int) -> int:
         return start_addr & (self.n_sets - 1)
@@ -87,6 +91,7 @@ class TraceCache:
         """
         ways = self._sets[self._set_index(segment.start_addr)]
         self.stats.writes += 1
+        self.epoch += 1
         signature = self._path_signature(segment) if self.path_assoc else None
         for i, resident in enumerate(ways):
             if resident.start_addr != segment.start_addr:
@@ -124,3 +129,4 @@ class TraceCache:
 
     def flush(self) -> None:
         self._sets = [[] for _ in range(self.n_sets)]
+        self.epoch += 1

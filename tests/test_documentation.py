@@ -16,10 +16,13 @@ PACKAGES = [
     "repro.branch", "repro.branch.counters", "repro.branch.gshare",
     "repro.branch.history", "repro.branch.hybrid", "repro.branch.indirect",
     "repro.branch.multiple", "repro.branch.pas", "repro.branch.ras",
+    "repro.branch.reference",
     "repro.mem", "repro.mem.cache", "repro.mem.hierarchy",
     "repro.trace", "repro.trace.bias_table", "repro.trace.fill_unit",
+    "repro.trace.fill_unit_reference",
     "repro.trace.segment", "repro.trace.static_promotion", "repro.trace.trace_cache",
     "repro.frontend", "repro.frontend.build", "repro.frontend.fetch",
+    "repro.frontend.fetch_reference",
     "repro.frontend.simulator", "repro.frontend.stats",
     "repro.core", "repro.core.inflight", "repro.core.machine",
     "repro.experiments", "repro.experiments.paper", "repro.experiments.runner",

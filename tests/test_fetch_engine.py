@@ -197,6 +197,7 @@ def test_snapshot_restore_roundtrip(branchy_program):
 
 def test_control_snapshots_recorded(branchy_program):
     engine = build_engine(branchy_program, BASELINE)
+    engine.capture_snapshots = True  # off by default; the core re-enables it
     warm_icache(engine, range(len(branchy_program)))
     loop = branchy_program.symbols["loop"]
     result = engine.fetch(loop)

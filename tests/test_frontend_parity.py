@@ -1,0 +1,147 @@
+"""Byte-level parity between the fast front end and the frozen reference.
+
+The fast stack (array-backed predictors in :mod:`repro.branch`, compiled
+segment fetch plans in :mod:`repro.frontend.fetch`, the state-machine
+fill unit in :mod:`repro.trace.fill_unit`) is a pure performance change.
+These tests pin the contract that makes it trustworthy: on identical
+inputs its serialized :class:`FrontEndResult` — every counter in
+``FetchStats``, every histogram bucket, every derived rate — must be
+**byte-identical** to the frozen seed copies
+(:mod:`repro.branch.reference`, :mod:`repro.frontend.fetch_reference`,
+:mod:`repro.trace.fill_unit_reference`), and the two stacks must stay in
+lockstep fetch-by-fetch through randomized probe streams and mid-stream
+snapshot/restore round trips.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro import config as cfg
+from repro.experiments import runner
+from repro.experiments.cachekey import canonical_json
+from repro.experiments.serialize import frontend_result_to_dict
+from repro.frontend.build import build_engine, build_predictor
+from repro.frontend.simulator import FrontEndSimulator
+
+N = 12_000
+
+CASES = [
+    pytest.param("compress", cfg.BASELINE, id="compress-baseline"),
+    pytest.param("compress", cfg.PROMOTION_PACKING, id="compress-packing"),
+    pytest.param("gcc", cfg.PROMOTION, id="gcc-promotion"),
+    pytest.param("gcc", cfg.PROMOTION_PACKING, id="gcc-packing"),
+    pytest.param("go", cfg.PROMOTION_COST_REG, id="go-cost-regulated"),
+    pytest.param("perl", cfg.ICACHE, id="perl-icache"),
+]
+
+
+def _run(benchmark: str, config, fast: bool):
+    program = runner.get_program(benchmark)
+    engine = build_engine(program, config, fast=fast)
+    return FrontEndSimulator(program, config,
+                             oracle=runner.get_oracle(benchmark, N),
+                             engine=engine).run()
+
+
+@pytest.mark.parametrize("bench, config", CASES)
+def test_fast_frontend_matches_reference(bench, config):
+    reference = _run(bench, config, fast=False)
+    optimized = _run(bench, config, fast=True)
+    assert canonical_json(frontend_result_to_dict(optimized)) == \
+        canonical_json(frontend_result_to_dict(reference))
+
+
+def test_parity_covers_fetch_stats_exactly():
+    """Stats equality is exact: same fetch counts, same histogram buckets."""
+    reference = _run("compress", cfg.PROMOTION_PACKING, fast=False)
+    optimized = _run("compress", cfg.PROMOTION_PACKING, fast=True)
+    assert optimized.stats.fetches == reference.stats.fetches
+    assert optimized.stats.cond_mispredicts == reference.stats.cond_mispredicts
+    assert optimized.stats.promoted_branches == reference.stats.promoted_branches
+    assert dict(optimized.stats.size_reason_histogram) == \
+        dict(reference.stats.size_reason_histogram)
+    assert dict(optimized.stats.predictions_histogram) == \
+        dict(reference.stats.predictions_histogram)
+    assert optimized.cycles == reference.cycles
+
+
+@pytest.mark.parametrize("kind", ["tree", "split"])
+def test_randomized_predictor_training_parity(kind):
+    """The array-backed predictors train identically to the reference.
+
+    Drives both organizations through the same randomized
+    predict/update stream — random fetch addresses and histories,
+    training each supplied slot with a random mix of agreeing and
+    disagreeing outcomes — and requires identical patterns and counter
+    tokens at every step.
+    """
+    config = cfg.BASELINE
+    if kind == "split":
+        config = replace(config, predictor="split")
+    fast = build_predictor(config, fast=True)
+    ref = build_predictor(config, fast=False)
+    rng = random.Random(0xC0FFEE)
+    for _ in range(3_000):
+        pc = rng.randrange(1 << 20)
+        history = rng.getrandbits(14)
+        got_fast = fast.predict(pc, history)
+        got_ref = ref.predict(pc, history)
+        # The two stacks' MultiPrediction types are distinct classes;
+        # compare the fields.
+        assert tuple(got_fast.taken) == tuple(got_ref.taken)
+        assert tuple(got_fast.indices) == tuple(got_ref.indices)
+        # The fast stack's packed-pattern entry point is the same table
+        # walk as predict(): identical bits, identical update tokens.
+        pattern, t0, t1, t2 = fast.predict_pattern(pc, history)
+        assert (t0, t1, t2) == got_fast.indices
+        assert tuple(bool((pattern >> k) & 1) for k in range(3)) == \
+            got_fast.taken
+        path = ()
+        for k in range(rng.randrange(4)):
+            predicted = got_fast.taken[k]
+            taken = predicted if rng.random() < 0.7 else not predicted
+            fast.update(got_fast.indices[k], k, path, taken)
+            ref.update(got_ref.indices[k], k, path, taken)
+            path = path + (taken,)
+
+
+def test_snapshot_restore_roundtrip_midstream():
+    """Fast and reference engines stay in lockstep through randomized
+    probes with snapshot/restore round trips interleaved mid-stream."""
+    program = runner.get_program("compress")
+    oracle = runner.get_oracle("compress", N)
+    config = cfg.PROMOTION
+    fast = build_engine(program, config, fast=True)
+    ref = build_engine(program, config, fast=False)
+    # Warm both stacks identically so the probes hit real segments.
+    FrontEndSimulator(program, config, oracle=oracle, engine=fast).run()
+    FrontEndSimulator(program, config, oracle=oracle, engine=ref).run()
+
+    def sig(result):
+        return (
+            result.pc,
+            result.source,
+            result.next_pc,
+            tuple(inst.addr for inst in result.active),
+            tuple(result.active_dirs),
+            tuple(result.active_promoted),
+            result.predictions_used,
+            result.raw_reason,
+            result.divergence,
+        )
+
+    rng = random.Random(1998)
+    snap_fast = snap_ref = None
+    for i in range(400):
+        pc = oracle[rng.randrange(len(oracle))][0].addr
+        if i % 29 == 0:
+            snap_fast, snap_ref = fast.snapshot(), ref.snapshot()
+            assert snap_fast == snap_ref
+        assert sig(fast.fetch(pc)) == sig(ref.fetch(pc))
+        if i % 29 == 17:
+            fast.restore(snap_fast)
+            ref.restore(snap_ref)
+            assert fast.snapshot() == snap_fast
+            assert ref.snapshot() == snap_ref
