@@ -5,7 +5,13 @@ Commands:
 * ``list`` — show the benchmark suite and the named configurations;
 * ``run`` — simulate one benchmark under one configuration (front end by
   default, ``--machine`` for the full cycle-level core);
-* ``experiment`` — regenerate one of the paper's tables or figures.
+* ``experiment`` — regenerate one of the paper's tables or figures;
+* ``validate-replay`` — re-run the lockstep comparison a divergence
+  report describes; exits nonzero iff it still reproduces.
+
+``run --validate [MODE]`` and ``experiment --validate [MODE]`` arm the
+online divergence guard (:mod:`repro.validate`): every simulation also
+runs on the frozen reference stack and the two are cross-checked.
 """
 
 from __future__ import annotations
@@ -65,7 +71,24 @@ def _build_config(args):
     return config
 
 
+def _print_divergence(exc) -> int:
+    """Render a caught DivergenceError; the exit status for the caller."""
+    print("DIVERGENCE: the fast engine disagrees with the reference engine.")
+    print(f"  {exc.message}")
+    if exc.fetch_index >= 0:
+        print(f"  first mismatching fetch: #{exc.fetch_index}")
+    if exc.report_path:
+        print(f"  report: {exc.report_path}")
+        print("  replay: python -m repro validate-replay "
+              f"{exc.report_path}")
+    return 1
+
+
 def _cmd_run(args) -> int:
+    import os
+
+    if args.validate:
+        os.environ["REPRO_VALIDATE"] = args.validate
     program = generate_program(args.benchmark)
     config = _build_config(args)
     n = args.instructions or get_profile(args.benchmark).default_dynamic
@@ -74,7 +97,17 @@ def _cmd_run(args) -> int:
             frontend=config,
             core=CoreConfig(perfect_disambiguation=args.perfect_memory),
         )
-        result = Machine(program, machine_config, max_instructions=n).run()
+        if args.validate:
+            from repro.validate.errors import DivergenceError
+            from repro.validate.lockstep import lockstep_machine
+            try:
+                result = lockstep_machine(args.benchmark, machine_config, n,
+                                          warmup=False)
+            except DivergenceError as exc:
+                return _print_divergence(exc)
+        else:
+            result = Machine(program, machine_config,
+                             max_instructions=n).run()
         print(format_table(
             ["Metric", "Value"],
             [["benchmark", args.benchmark],
@@ -95,7 +128,19 @@ def _cmd_run(args) -> int:
             title="Cycle accounting", fmt="{:8d}",
         ))
     else:
-        result = FrontEndSimulator(program, config, max_instructions=n).run()
+        if args.validate:
+            from repro.frontend.simulator import compute_oracle
+            from repro.validate.errors import DivergenceError
+            from repro.validate.lockstep import lockstep_frontend
+            try:
+                result = lockstep_frontend(
+                    args.benchmark, config, n, program=program,
+                    oracle=compute_oracle(program, n))
+            except DivergenceError as exc:
+                return _print_divergence(exc)
+        else:
+            result = FrontEndSimulator(program, config,
+                                       max_instructions=n).run()
         stats = result.stats
         print(format_table(
             ["Metric", "Value"],
@@ -126,6 +171,23 @@ def _print_failure_report(failed) -> None:
           "checkpointed and a re-run resumes from the journal.")
 
 
+def _print_divergence_report() -> None:
+    """Render grid points that diverged and completed on the reference."""
+    from repro.experiments import faults, scheduler
+
+    divergences = scheduler.take_divergences()
+    if not divergences:
+        return
+    print()
+    print(format_table(list(faults.FAILURE_HEADERS),
+                       faults.failure_rows(divergences),
+                       title="Divergences (recomputed on reference engine)"))
+    print(f"\n{len(divergences)} point(s) diverged from the reference "
+          "engine; their numbers above come from the frozen reference "
+          "stack.  Replay a report with: "
+          "python -m repro validate-replay <report.json>")
+
+
 def _cmd_experiment(args) -> int:
     import os
 
@@ -145,11 +207,31 @@ def _cmd_experiment(args) -> int:
         os.environ["REPRO_RESUME"] = "1"
     elif args.no_resume:
         os.environ["REPRO_RESUME"] = "0"
+    if args.validate:
+        os.environ["REPRO_VALIDATE"] = args.validate
     try:
-        return _render_experiment(args.name)
+        status = _render_experiment(args.name)
     except GridFailures as failed:
         _print_failure_report(failed)
+        _print_divergence_report()
         return 1
+    _print_divergence_report()
+    return status
+
+
+def _cmd_validate_replay(args) -> int:
+    from repro.validate import report as report_module
+
+    try:
+        exc = report_module.replay_report(args.report)
+    except (OSError, ValueError) as err:
+        print(f"cannot replay {args.report}: {err}", file=sys.stderr)
+        return 2
+    if exc is None:
+        print(f"no divergence: {args.report} does not reproduce "
+              "on this source tree")
+        return 0
+    return _print_divergence(exc)
 
 
 def _render_experiment(name: str) -> int:
@@ -223,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--static-promotion", action="store_true")
     run.add_argument("--path-assoc", action="store_true")
     run.add_argument("--no-inactive-issue", action="store_true")
+    run.add_argument("--validate", nargs="?", const="lockstep", default=None,
+                     metavar="MODE",
+                     help="cross-check against the frozen reference stack "
+                          "(MODE: lockstep, sample, or sample:N; "
+                          "default lockstep)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=EXPERIMENTS)
@@ -244,6 +331,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "scheduling (default)")
     res.add_argument("--no-resume", action="store_true",
                      help="ignore any existing checkpoint journal")
+    exp.add_argument("--validate", nargs="?", const="lockstep", default=None,
+                     metavar="MODE",
+                     help="arm the divergence guard for every grid point "
+                          "(MODE: lockstep, sample, or sample:N; a "
+                          "diverging point is recomputed on the frozen "
+                          "reference stack and reported)")
+
+    replay = sub.add_parser(
+        "validate-replay",
+        help="re-run the lockstep comparison a divergence report "
+             "describes; exits nonzero iff it still reproduces")
+    replay.add_argument("report", help="path to a divergence report JSON "
+                                       "(written under the cache's "
+                                       "divergences/ directory)")
 
     return parser
 
@@ -254,6 +355,8 @@ def main(argv=None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "validate-replay":
+        return _cmd_validate_replay(args)
     return _cmd_experiment(args)
 
 

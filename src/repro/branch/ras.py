@@ -28,6 +28,13 @@ class IdealReturnAddressStack:
     def __init__(self):
         self._stack: List[int] = []
         self._snap: Optional[tuple] = ()  # cached snapshot; None when stale
+        # When validation is armed, every snapshot() additionally checks
+        # the copy-on-write cache against the live stack — a stale cache
+        # would silently corrupt checkpoint/restore.  Bound per instance
+        # so the off path keeps the bare method.
+        from repro import validate
+        if validate.invariants_armed():
+            self.snapshot = self._snapshot_checked
 
     def push(self, return_address: int) -> None:
         self._stack.append(return_address)
@@ -45,6 +52,16 @@ class IdealReturnAddressStack:
         if snap is None:
             self._snap = snap = tuple(self._stack)
         return snap
+
+    def _snapshot_checked(self) -> tuple:
+        """:meth:`snapshot` plus the cache-coherence invariant."""
+        snap = self._snap
+        if snap is not None and snap != tuple(self._stack):
+            from repro.validate.errors import InvariantError
+            raise InvariantError(
+                f"RAS snapshot cache is stale: cached {snap!r} vs live "
+                f"{tuple(self._stack)!r}")
+        return IdealReturnAddressStack.snapshot(self)
 
     def restore(self, snapshot: tuple) -> None:
         self._stack = list(snapshot)

@@ -63,7 +63,7 @@ from repro.core.inflight import (
     S_DORMANT, S_WAITING, S_READY, S_MEM_BLOCKED, S_EXECUTING, S_DONE, S_SQUASHED,
 )
 from repro.frontend.build import build_engine
-from repro.frontend.fetch import FetchResult, TraceFetchEngine
+from repro.frontend.fetch import FetchResult
 from repro.frontend.stats import CycleCategory
 from repro.isa.executor import STACK_BASE
 from repro.isa.instruction import NUM_REGS, REG_LINK, REG_SP
@@ -263,6 +263,12 @@ class Machine:
         self._fill_retire = self.fill_unit.retire if self.fill_unit is not None else None
         self._data_latency = self.engine.memory.data_latency
 
+        # Structural self-checks on the recovery paths, armed at
+        # construction when REPRO_VALIDATE enables any validation mode
+        # (zero cost when off — the flag gates every call site).
+        from repro import validate
+        self._validate_state = validate.invariants_armed()
+
     # ------------------------------------------------------------------ run
 
     def run(self) -> MachineResult:
@@ -448,6 +454,8 @@ class Machine:
                     del self.checkpoints[i]
                     break
             rec.checkpoint = None
+            if self._validate_state:
+                self.validate_state()
 
     # -------------------------------------------------------------- complete
 
@@ -572,8 +580,9 @@ class Machine:
             for dormant in branch.inactive_buffer:
                 self._squash_one(dormant)
             branch.inactive_buffer = None
-        if isinstance(self.engine, TraceFetchEngine):
-            self.engine.add_fault_override(branch.inst.addr, branch.taken)
+        add_fault_override = getattr(self.engine, "add_fault_override", None)
+        if add_fault_override is not None:
+            add_fault_override(branch.inst.addr, branch.taken)
         if cp_entry is None:
             # No older checkpoint alive (fault very early in a fetch
             # burst): fall back to branch-local recovery.
@@ -662,6 +671,51 @@ class Machine:
         self.engine.ras.restore(cp.ras_state)
         self._truncate_mem_queues(cp.seq)
         self._rescan_mem_blocked()
+        if self._validate_state:
+            self.validate_state()
+
+    def validate_state(self) -> None:
+        """Check the core's structural invariants (validation mode only).
+
+        Called after every checkpoint restore and drop; each check names
+        a contract the recovery machinery must maintain:
+
+        * the checkpoint stack is strictly ordered by sequence number
+          (restores binary-search and pop it by seq);
+        * the store queue is in dispatch (sequence) order and every
+          member is flagged ``sq_live`` (commit and truncation clear the
+          flag exactly when they remove the entry);
+        * every live store reachable through the address-indexed
+          ``store_map`` is present in the store queue — a map entry
+          outliving its queue entry would forward dead data to loads.
+        """
+        from repro.validate.errors import InvariantError
+        checkpoints = self.checkpoints
+        for i in range(1, len(checkpoints)):
+            if checkpoints[i - 1][0] >= checkpoints[i][0]:
+                raise InvariantError(
+                    "checkpoint stack out of order: "
+                    f"{[seq for seq, _ in checkpoints]}")
+        queue_ids = set()
+        prev_seq = -1
+        for store in self.store_queue:
+            if store.seq <= prev_seq:
+                raise InvariantError(
+                    "store queue out of dispatch order at "
+                    f"seq {store.seq} (after {prev_seq})")
+            prev_seq = store.seq
+            if not store.sq_live:
+                raise InvariantError(
+                    f"store seq {store.seq} is in the store queue but "
+                    "not flagged sq_live")
+            queue_ids.add(id(store))
+        for addr, bucket in self.store_map.items():
+            for store in bucket:
+                if store.sq_live and store.state != S_SQUASHED \
+                        and id(store) not in queue_ids:
+                    raise InvariantError(
+                        f"live store seq {store.seq} (addr {addr:#x}) is "
+                        "in store_map but missing from the store queue")
 
     def _truncate_mem_queues(self, seq: int) -> None:
         """Drop store/load-queue entries younger than ``seq``.
@@ -1447,9 +1501,10 @@ class Machine:
             if self.fill_unit.bias_table is not None:
                 result.promotions = self.fill_unit.bias_table.promotions
                 result.demotions = self.fill_unit.bias_table.demotions
-        if isinstance(self.engine, TraceFetchEngine):
-            result.tc_hits = self.engine.trace_cache.stats.hits
-            result.tc_misses = self.engine.trace_cache.stats.misses
+        trace_cache = getattr(self.engine, "trace_cache", None)
+        if trace_cache is not None:
+            result.tc_hits = trace_cache.stats.hits
+            result.tc_misses = trace_cache.stats.misses
         result.l1i_misses = self.engine.memory.l1i.stats.misses
         return result
 

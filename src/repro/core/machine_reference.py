@@ -50,7 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
 from repro.frontend.build import build_engine
-from repro.frontend.fetch import FetchResult, TraceFetchEngine
+from repro.frontend.fetch import FetchResult
 from repro.frontend.stats import CycleCategory
 from repro.isa.executor import step_instruction
 from repro.isa.instruction import NUM_REGS, REG_SP
@@ -494,8 +494,9 @@ class Machine:
             for dormant in branch.inactive_buffer:
                 self._squash_one(dormant)
             branch.inactive_buffer = None
-        if isinstance(self.engine, TraceFetchEngine):
-            self.engine.add_fault_override(branch.inst.addr, branch.taken)
+        add_fault_override = getattr(self.engine, "add_fault_override", None)
+        if add_fault_override is not None:
+            add_fault_override(branch.inst.addr, branch.taken)
         if cp_entry is None:
             # No older checkpoint alive (fault very early in a fetch
             # burst): fall back to branch-local recovery.
@@ -993,9 +994,10 @@ class Machine:
             if self.fill_unit.bias_table is not None:
                 result.promotions = self.fill_unit.bias_table.promotions
                 result.demotions = self.fill_unit.bias_table.demotions
-        if isinstance(self.engine, TraceFetchEngine):
-            result.tc_hits = self.engine.trace_cache.stats.hits
-            result.tc_misses = self.engine.trace_cache.stats.misses
+        trace_cache = getattr(self.engine, "trace_cache", None)
+        if trace_cache is not None:
+            result.tc_hits = trace_cache.stats.hits
+            result.tc_misses = trace_cache.stats.misses
         result.l1i_misses = self.engine.memory.l1i.stats.misses
         return result
 

@@ -34,11 +34,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Tuple
 
-from repro.experiments import diskcache, warnonce
+from repro.experiments import diskcache, env, warnonce
 from repro.experiments.cachekey import CACHE_SCHEMA_VERSION, canonical_json
 
 _SUFFIX = ".jsonl"
@@ -46,7 +45,7 @@ _SUFFIX = ".jsonl"
 
 def enabled() -> bool:
     """Is journaling on?  (``REPRO_CHECKPOINTS=0`` turns it off.)"""
-    return os.environ.get("REPRO_CHECKPOINTS", "1") not in ("0", "")
+    return env.get_flag("REPRO_CHECKPOINTS", True)
 
 
 def resume_default() -> bool:
@@ -57,7 +56,7 @@ def resume_default() -> bool:
     by construction, the result of simulating exactly this point with
     exactly this source tree.
     """
-    return os.environ.get("REPRO_RESUME", "1") not in ("0", "")
+    return env.get_flag("REPRO_RESUME", True)
 
 
 def checkpoint_dir() -> Path:
@@ -89,34 +88,62 @@ class Journal:
     def load(self) -> Dict[str, Tuple[str, Dict[str, Any]]]:
         """Replay the journal: ``{point key: (kind, payload dict)}``.
 
-        Unparseable lines (the partial trailing line a SIGKILL can
-        leave), wrong-version lines and keys outside this grid are
-        skipped silently — a damaged journal degrades to a shorter one,
-        never to an error or a wrong result.
+        Wrong-version lines, keys outside this grid and unparseable
+        interior lines are skipped silently — a damaged journal degrades
+        to a shorter one, never to an error or a wrong result.  A torn
+        *final* line (the partial write a SIGKILL can leave, possibly
+        with non-UTF-8 garbage — hence the byte read and lossy decode)
+        is also skipped, but with one warning, since it means exactly
+        one completed point will be recomputed.
         """
         if self._broken:
             return {}
         try:
-            text = self.path.read_text()
+            raw = self.path.read_bytes()
         except OSError:
             return {}
+        text = raw.decode("utf-8", errors="replace")
         entries: Dict[str, Tuple[str, Dict[str, Any]]] = {}
-        for line in text.splitlines():
-            try:
-                obj = json.loads(line)
-            except ValueError:
-                continue
-            if not isinstance(obj, dict):
-                continue
-            if obj.get("v") != CACHE_SCHEMA_VERSION:
-                continue
-            key = obj.get("key")
-            kind = obj.get("kind")
-            payload = obj.get("payload")
-            if key in self._keys and isinstance(kind, str) \
-                    and isinstance(payload, dict):
+        lines = text.split("\n")
+        # A complete journal ends with a newline; anything after the
+        # last newline is a torn trailing fragment.
+        tail = lines.pop()
+        for line in lines:
+            obj = self._parse_line(line)
+            if obj is not None:
+                key, kind, payload = obj
                 entries[key] = (kind, payload)
+        if tail.strip():
+            obj = self._parse_line(tail)
+            if obj is not None:
+                key, kind, payload = obj
+                entries[key] = (kind, payload)
+            else:
+                try:
+                    json.loads(tail)  # parseable-but-filtered: silent
+                except ValueError:
+                    warnonce.warn_once(
+                        "checkpoint-torn-line",
+                        f"grid checkpoint journal {self.path} ends in a "
+                        "torn partial line (interrupted write); dropping "
+                        "it and recomputing that point")
         return entries
+
+    def _parse_line(self, line: str):
+        """One journal line -> ``(key, kind, payload)`` or None."""
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(obj, dict) or obj.get("v") != CACHE_SCHEMA_VERSION:
+            return None
+        key = obj.get("key")
+        kind = obj.get("kind")
+        payload = obj.get("payload")
+        if key in self._keys and isinstance(kind, str) \
+                and isinstance(payload, dict):
+            return key, kind, payload
+        return None
 
     def record(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
         """Append one completed point and flush it to the OS.

@@ -26,6 +26,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.experiments import env
 from repro.experiments.cachekey import CACHE_SCHEMA_VERSION
 
 _SUFFIX = ".json"
@@ -33,15 +34,15 @@ _SUFFIX = ".json"
 
 def enabled() -> bool:
     """Is the disk layer on?  (``REPRO_DISK_CACHE=0`` turns it off.)"""
-    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "")
+    return env.get_flag("REPRO_DISK_CACHE", True)
 
 
 def cache_dir() -> Path:
     """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    override = os.environ.get("REPRO_CACHE_DIR")
+    override = env.get_str("REPRO_CACHE_DIR")
     if override:
         return Path(override)
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = env.get_str("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro"
 

@@ -35,6 +35,9 @@ in :mod:`repro.experiments.scheduler` three things:
    ``pN`` — fire on the point scheduled at ordinal ``N``, first attempt
    only, so retries succeed — or a probability in ``[0, 1]`` hashed from
    (action, point key, attempt), so a given run is exactly reproducible.
+   The ``diverge`` action arms the :mod:`repro.validate` forced-latch so
+   the next validated fetch/run reports an (injected) divergence —
+   chaos coverage for the lockstep guard's detect/report/requeue path.
    Faults only ever fire inside pool workers (the pool initializer calls
    :func:`mark_worker`); serial runs and parent-side inline re-runs are
    never faulted, which is what makes "degrade to serial" a safe floor.
@@ -50,7 +53,8 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.experiments import warnonce
+from repro.experiments import env, warnonce
+from repro.validate.errors import DivergenceError
 
 # ------------------------------------------------------------- taxonomy
 
@@ -59,6 +63,7 @@ OK = "ok"
 TRANSIENT = "transient"
 TIMEOUT = "timeout"
 DETERMINISTIC = "deterministic"
+DIVERGENCE = "divergence"
 
 
 class PointTimeout(Exception):
@@ -68,6 +73,11 @@ class PointTimeout(Exception):
 def classify(exc: BaseException) -> str:
     """Sort a grid-point exception into the retry taxonomy.
 
+    * :class:`~repro.validate.errors.DivergenceError` ->
+      :data:`DIVERGENCE` (the lockstep guard caught the fast stack
+      disagreeing with the reference: retrying the same code reproduces
+      it, so the scheduler requeues the point pinned to the reference
+      engine instead);
     * :class:`PointTimeout` -> :data:`TIMEOUT` (retried; the hung worker
       was killed, a fresh attempt may succeed);
     * broken pools / killed workers / OS-level IO errors on the cache or
@@ -76,6 +86,8 @@ def classify(exc: BaseException) -> str:
       invariant violation: re-running it in a pool reproduces the same
       failure, so it is re-run once inline for a clean traceback).
     """
+    if isinstance(exc, DivergenceError):
+        return DIVERGENCE
     if isinstance(exc, PointTimeout):
         return TIMEOUT
     if isinstance(exc, (BrokenExecutor, OSError, EOFError)):
@@ -88,7 +100,7 @@ class PointFailure:
     """One grid point's terminal failure, for the end-of-run report."""
 
     point: Any          #: the GridPoint that failed
-    kind: str           #: TRANSIENT, TIMEOUT or DETERMINISTIC
+    kind: str           #: TRANSIENT, TIMEOUT, DETERMINISTIC or DIVERGENCE
     attempts: int       #: how many attempts were consumed
     error: str          #: compact ``repr`` of the final exception
     traceback: str = ""  #: full traceback for deterministic failures
@@ -142,24 +154,11 @@ def capture_traceback(exc: BaseException) -> str:
 COST_REFERENCE = 100_000
 
 
-def _env_number(name: str, default: float, parse=float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        return parse(raw)
-    except ValueError:
-        warnonce.warn_once(
-            name.lower().replace("_", "-"),
-            f"ignoring invalid {name}={raw!r}; using {default!r}")
-        return default
-
-
 def resolve_retries(override: Optional[int] = None) -> int:
     """Transient retry budget: argument > ``REPRO_RETRIES`` > 2."""
     if override is not None:
         return max(0, override)
-    return max(0, int(_env_number("REPRO_RETRIES", 2, parse=int)))
+    return max(0, env.get_int("REPRO_RETRIES", 2))
 
 
 def resolve_timeout(override: Optional[float] = None) -> Optional[float]:
@@ -171,7 +170,7 @@ def resolve_timeout(override: Optional[float] = None) -> Optional[float]:
     """
     timeout = override
     if timeout is None:
-        timeout = _env_number("REPRO_POINT_TIMEOUT", 0.0)
+        timeout = env.get_float("REPRO_POINT_TIMEOUT", 0.0)
     return timeout if timeout and timeout > 0 else None
 
 
@@ -179,14 +178,14 @@ def resolve_keep_going(override: Optional[bool] = None) -> bool:
     """Keep-going mode: argument > ``REPRO_KEEP_GOING`` > fail-fast."""
     if override is not None:
         return override
-    return os.environ.get("REPRO_KEEP_GOING", "0") not in ("0", "")
+    return env.get_flag("REPRO_KEEP_GOING", False)
 
 
 def resolve_backoff(override: Optional[float] = None) -> float:
     """Exponential-backoff base in seconds: argument > ``REPRO_BACKOFF`` > 0.1."""
     if override is not None:
         return max(0.0, override)
-    return max(0.0, _env_number("REPRO_BACKOFF", 0.1))
+    return max(0.0, env.get_float("REPRO_BACKOFF", 0.1))
 
 
 def backoff_delay(base: float, attempt: int) -> float:
@@ -199,7 +198,7 @@ def backoff_delay(base: float, attempt: int) -> float:
 # ---------------------------------------------------- injection harness
 
 #: Legal ``REPRO_FAULTS`` actions.
-ACTIONS = ("crash", "hang", "corrupt-cache", "corrupt-trace")
+ACTIONS = ("crash", "hang", "corrupt-cache", "corrupt-trace", "diverge")
 
 #: Worker exit status used by the ``crash`` action (visible in pool logs).
 CRASH_EXIT_STATUS = 37
@@ -273,7 +272,7 @@ def parse_spec(raw: str) -> Tuple[FaultSpec, ...]:
 
 def active_spec() -> Tuple[FaultSpec, ...]:
     """The parsed ``REPRO_FAULTS`` spec, or () outside armed workers."""
-    raw = os.environ.get("REPRO_FAULTS")
+    raw = env.get_str("REPRO_FAULTS")
     if not raw or not _in_worker:
         return ()
     return parse_spec(raw)
@@ -319,6 +318,9 @@ def inject_before(key: str, ordinal: int, attempt: int,
             # checksum-recovery path instead of serving fork-time state.
             from repro.experiments import runner
             runner._oracles.clear()
+        elif spec.action == "diverge":
+            from repro.validate import errors
+            errors.arm_forced_divergence()
 
 
 def inject_after(key: str, ordinal: int, attempt: int,

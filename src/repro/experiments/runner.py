@@ -27,12 +27,11 @@ used to be silently ignored, which made typos look like real runs.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional, Tuple
 
 from repro.config import FrontEndConfig, MachineConfig
 from repro.core.machine import Machine, MachineResult
-from repro.experiments import diskcache, tracefile, warnonce
+from repro.experiments import diskcache, env, tracefile, warnonce
 from repro.experiments.cachekey import cache_key
 from repro.experiments.serialize import (
     frontend_result_from_dict,
@@ -57,19 +56,8 @@ def quick_scale() -> float:
     top of it, so ``REPRO_QUICK=1 REPRO_SCALE=0.5`` runs at x0.125 —
     they used to be exclusive, with QUICK silently masking SCALE.
     """
-    scale = 1.0
-    raw = os.environ.get("REPRO_SCALE")
-    if raw is not None:
-        try:
-            scale = float(raw)
-        except ValueError:
-            warnonce.warn_once(
-                "repro-scale",
-                f"ignoring invalid REPRO_SCALE={raw!r} (not a number); "
-                "using 1.0",
-            )
-            scale = 1.0
-    if os.environ.get("REPRO_QUICK"):
+    scale = env.get_float("REPRO_SCALE", 1.0)
+    if env.get_raw("REPRO_QUICK"):
         scale *= 0.25
     return scale
 
@@ -80,12 +68,21 @@ def clear_caches(disk: bool = False) -> None:
     With ``disk=True`` also purge the persistent on-disk result cache
     and the stored oracle trace files — used by benchmarks that need
     genuinely cold runs.
+
+    Also drops the compiled state living *inside* engines built so far
+    (compiled fetch variants, fill-unit state machines, segment memos —
+    see :func:`repro.frontend.build.reset_compiled_state`), so a
+    long-lived process that switches configurations or regenerates
+    programs (the differential fuzzer, notebook sessions) can never be
+    served plans compiled against dropped programs.
     """
     _programs.clear()
     _oracles.clear()
     _frontend.clear()
     _machine.clear()
     warnonce.reset()
+    from repro.frontend.build import reset_compiled_state
+    reset_compiled_state()
     if disk:
         diskcache.purge()
         tracefile.purge()
@@ -171,18 +168,75 @@ def admit_frontend_result(result: FrontEndResult, n: int) -> None:
     _frontend[(result.benchmark, result.config, n)] = result
 
 
+def _discard_forced_divergence() -> None:
+    """Drop any armed ``diverge`` fault latch before a pinned run.
+
+    When a point is requeued with ``engine="reference"`` the lockstep
+    guard is skipped, so a latch armed by the chaos harness for *this*
+    point must not leak into a later validated point in the same
+    worker.
+    """
+    from repro.validate import errors
+    errors.arm_forced_divergence(0)
+
+
+def _sample_params(key: str) -> Tuple[int, int]:
+    """(stride, offset) for sample-mode validation of one grid point.
+
+    The offset is seeded from the point's content-hash cache key, so
+    the checked 1-in-N fetch slice is deterministic per point but
+    varies across points — repeated CI runs cover the same slices,
+    different points cover different ones.
+    """
+    from repro import validate
+    stride = validate.sample_stride()
+    return stride, int(key[:16], 16) % stride
+
+
 def frontend_result(benchmark: str, config: FrontEndConfig,
-                    n: Optional[int] = None) -> FrontEndResult:
-    """Oracle-driven front-end run, memoized in process and on disk."""
+                    n: Optional[int] = None,
+                    engine: Optional[str] = None) -> FrontEndResult:
+    """Oracle-driven front-end run, memoized in process and on disk.
+
+    ``engine`` pins the run to one stack: ``"fast"`` or ``"reference"``
+    (no validation — this is the scheduler's graceful-degradation path
+    after a detected divergence).  With ``engine=None`` and
+    ``REPRO_VALIDATE`` armed, the run goes through the lockstep
+    differential guard; the two stacks are byte-identical on success,
+    so validated, pinned and plain results all share one cache key.
+    """
     if n is None:
         n = default_length(benchmark)
     result = cached_frontend_result(benchmark, config, n)
     if result is not None:
         return result
-    simulator = FrontEndSimulator(
-        get_program(benchmark), config, oracle=get_oracle(benchmark, n)
-    )
-    result = simulator.run()
+    from repro import validate
+    if engine is not None:
+        _discard_forced_divergence()
+        from repro.frontend.build import build_engine
+        built = build_engine(get_program(benchmark), config,
+                             fast=(engine != "reference"))
+        result = FrontEndSimulator(
+            get_program(benchmark), config,
+            oracle=get_oracle(benchmark, n), engine=built).run()
+    elif validate.armed():
+        from repro.frontend.build import fast_frontend_enabled
+        from repro.validate.lockstep import lockstep_frontend
+        if fast_frontend_enabled():
+            stride, offset = _sample_params(
+                frontend_cache_key(benchmark, config, n))
+            result = lockstep_frontend(benchmark, config, n,
+                                       stride=stride, offset=offset)
+        else:
+            # REPRO_FAST_FRONTEND=0: the "fast" stack is the reference
+            # stack; a differential run would compare it to itself.
+            result = FrontEndSimulator(
+                get_program(benchmark), config,
+                oracle=get_oracle(benchmark, n)).run()
+    else:
+        result = FrontEndSimulator(
+            get_program(benchmark), config,
+            oracle=get_oracle(benchmark, n)).run()
     diskcache.store(frontend_cache_key(benchmark, config, n),
                     "frontend", frontend_result_to_dict(result))
     _frontend[(benchmark, config, n)] = result
@@ -190,7 +244,8 @@ def frontend_result(benchmark: str, config: FrontEndConfig,
 
 
 def machine_result(benchmark: str, config: MachineConfig,
-                   n: Optional[int] = None, warmup: bool = True) -> MachineResult:
+                   n: Optional[int] = None, warmup: bool = True,
+                   engine: Optional[str] = None) -> MachineResult:
     """Cycle-level machine run with functional front-end warmup.
 
     The pure-Python machine is ~4x slower than the oracle-driven front-end
@@ -201,26 +256,70 @@ def machine_result(benchmark: str, config: MachineConfig,
 
     The warmup window scales with the environment knobs, so it is part
     of the disk cache key.
+
+    ``engine`` pins the run to one complete stack (machine core + front
+    end): ``"fast"`` or ``"reference"``, with no validation.  With
+    ``engine=None`` and ``REPRO_VALIDATE`` armed the run goes through
+    the lockstep machine driver; in ``sample`` mode only a deterministic
+    1-in-N slice of grid points (seeded from the cache key) is
+    cross-checked, the rest run plain.
     """
     if n is None:
         n = machine_length(benchmark)
     result = cached_machine_result(benchmark, config, n, warmup=warmup)
     if result is not None:
         return result
+    from repro import validate
+    if engine is not None:
+        _discard_forced_divergence()
+        result = _machine_one_stack(benchmark, config, n, warmup,
+                                    fast=(engine != "reference"))
+    elif validate.armed():
+        from repro.frontend.build import fast_frontend_enabled
+        if not fast_frontend_enabled():
+            # The "fast" stack already is the reference stack.
+            result = _machine_one_stack(benchmark, config, n, warmup,
+                                        fast=False)
+        else:
+            stride, offset = _sample_params(
+                machine_cache_key(benchmark, config, n, warmup=warmup))
+            if offset == 0:
+                from repro.validate.lockstep import lockstep_machine
+                result = lockstep_machine(benchmark, config, n,
+                                          warmup=warmup)
+            else:
+                _discard_forced_divergence()
+                result = _machine_one_stack(benchmark, config, n, warmup,
+                                            fast=True)
+    else:
+        result = _machine_one_stack(benchmark, config, n, warmup, fast=None)
+    diskcache.store(machine_cache_key(benchmark, config, n, warmup=warmup),
+                    "machine", machine_result_to_dict(result))
+    _machine[(benchmark, config, n)] = result
+    return result
+
+
+def _machine_one_stack(benchmark: str, config: MachineConfig, n: int,
+                       warmup: bool, fast: Optional[bool]) -> MachineResult:
+    """One plain machine run on the named stack (no cross-checking).
+
+    ``fast=None`` keeps the historical default: the event-driven machine
+    core with the front end following ``REPRO_FAST_FRONTEND``;
+    ``fast=False`` additionally swaps in the frozen reference machine
+    core (the scheduler's post-divergence degradation path).
+    """
+    from repro.core.machine_reference import Machine as ReferenceMachine
     program = get_program(benchmark)
     engine = None
     if warmup:
         from repro.frontend.build import build_engine
         engine = build_engine(program, config.frontend,
-                              memory_config=config.memory)
+                              memory_config=config.memory, fast=fast)
         FrontEndSimulator(program, config.frontend,
                           oracle=get_oracle(benchmark), engine=engine).run()
-    result = Machine(program, config, max_instructions=n,
-                     engine=engine).run()
-    diskcache.store(machine_cache_key(benchmark, config, n, warmup=warmup),
-                    "machine", machine_result_to_dict(result))
-    _machine[(benchmark, config, n)] = result
-    return result
+    machine_cls = ReferenceMachine if fast is False else Machine
+    return machine_cls(program, config, max_instructions=n,
+                       engine=engine).run()
 
 
 def cached_machine_result(benchmark: str, config: MachineConfig,

@@ -39,6 +39,13 @@ report (``REPRO_KEEP_GOING`` / ``--keep-going``).  Completed points are
 journaled as they finish, so an interrupted grid resumes from the
 journal instead of recomputing.
 
+When ``REPRO_VALIDATE`` arms the lockstep guard and a point's fast
+stack diverges from the reference, the point is requeued **pinned to
+the reference engine** (:func:`_Supervisor._divert_to_reference`) so
+the grid still completes with trustworthy numbers; the divergence —
+with its on-disk report path — is surfaced through
+:func:`take_divergences` instead of killing the run.
+
 Worker count resolution: explicit ``jobs`` argument, else ``REPRO_JOBS``
 from the environment, else ``os.cpu_count()``.  An unparseable
 ``REPRO_JOBS`` warns once per process tree: workers inherit the parent's
@@ -58,7 +65,7 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
 from dataclasses import dataclass, replace
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import (checkpoint, diskcache, faults, runner,
+from repro.experiments import (checkpoint, diskcache, env, faults, runner,
                                tracefile, warnonce)
 from repro.experiments.serialize import (
     frontend_result_from_dict,
@@ -111,7 +118,7 @@ class GridPoint:
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
     if jobs is None:
-        raw = os.environ.get("REPRO_JOBS")
+        raw = env.get_raw("REPRO_JOBS")
         if raw:
             try:
                 jobs = int(raw)
@@ -190,15 +197,21 @@ def _worker_init(emitted_keys: Tuple[str, ...]) -> None:
     faults.mark_worker()
 
 
-def _run_point(point: GridPoint):
-    """Execute one resolved point through the runner (memo+disk aware)."""
+def _run_point(point: GridPoint, engine: Optional[str] = None):
+    """Execute one resolved point through the runner (memo+disk aware).
+
+    ``engine="reference"`` pins the run to the frozen reference stack —
+    the supervisor's degradation path after a detected divergence.
+    """
     if point.kind == FRONTEND:
-        return runner.frontend_result(point.benchmark, point.config, point.n)
+        return runner.frontend_result(point.benchmark, point.config, point.n,
+                                      engine=engine)
     return runner.machine_result(point.benchmark, point.config, point.n,
-                                 warmup=point.warmup)
+                                 warmup=point.warmup, engine=engine)
 
 
-def _run_point_task(point: GridPoint, ordinal: int, attempt: int, key: str):
+def _run_point_task(point: GridPoint, ordinal: int, attempt: int, key: str,
+                    engine: Optional[str] = None):
     """Pool-task wrapper: fault-injection hooks around one point.
 
     The hooks are no-ops unless this process is an armed worker *and*
@@ -209,7 +222,7 @@ def _run_point_task(point: GridPoint, ordinal: int, attempt: int, key: str):
         key, ordinal, attempt,
         trace_paths=[tracefile.trace_path(b, n)
                      for b, n in _oracle_needs(point)])
-    result = _run_point(point)
+    result = _run_point(point, engine=engine)
     faults.inject_after(key, ordinal, attempt,
                         cache_path=diskcache.entry_path(key))
     return result
@@ -267,6 +280,11 @@ class _Supervisor:
         self.failures: List[faults.PointFailure] = []
         self.results: Dict[GridPoint, Any] = {}
         self.pool_breaks = 0
+        #: Per-point engine pin after a detected divergence.
+        self.engine_overrides: Dict[GridPoint, str] = {}
+        #: Divergences handled gracefully (the grid still completed);
+        #: surfaced in the end-of-run table, not raised.
+        self.divergences: List[faults.PointFailure] = []
 
     # ------------------------------------------------------------ outcomes
 
@@ -305,7 +323,7 @@ class _Supervisor:
         """
         del pool_exc  # superseded by the inline outcome either way
         try:
-            result = _run_point(point)
+            result = _run_point(point, engine=self.engine_overrides.get(point))
         except Exception as exc:
             # Consumed: prior transient attempts, the pool run, this one.
             self._fail(point, faults.DETERMINISTIC, exc,
@@ -313,6 +331,38 @@ class _Supervisor:
                        attempts=self.attempts[point] + 2)
         else:
             self._record(point, result)
+
+    def _divert_to_reference(self, point: GridPoint, exc: BaseException,
+                             pending: Deque[GridPoint]) -> None:
+        """Divergence: record it, pin the point to the reference engine,
+        and requeue so the grid still completes with trustworthy numbers.
+
+        The divergence is *not* a retryable failure — the same code
+        reproduces it — and it is not fatal either: the frozen reference
+        stack is the known-good contract, so the point reruns pinned to
+        it (no retry consumed; this is degradation, not flakiness).  The
+        report path, if one was written, rides along in the warning and
+        the end-of-run table.
+        """
+        if self.engine_overrides.get(point) == "reference":
+            # Already pinned and still failing — nothing left to degrade
+            # to; treat it as an ordinary deterministic failure.
+            self._fail(point, faults.DETERMINISTIC, exc,
+                       traceback=faults.capture_traceback(exc))
+            return
+        report = getattr(exc, "report_path", None)
+        warnonce.warn_once(
+            f"divergence:{self.keys[point]}",
+            f"{point.benchmark} {point.kind} point diverged from the "
+            "reference engine"
+            + (f" (report: {report})" if report else "")
+            + "; re-running pinned to the reference stack")
+        self.divergences.append(faults.PointFailure(
+            point=point, kind=faults.DIVERGENCE,
+            attempts=self.attempts[point] + 1,
+            error=faults.format_error(exc)))
+        self.engine_overrides[point] = "reference"
+        pending.append(point)
 
     def _requeue_or_fail(self, point: GridPoint, kind: str,
                          exc: BaseException,
@@ -347,9 +397,13 @@ class _Supervisor:
             point = pending.popleft()
             while True:
                 try:
-                    result = _run_point(point)
+                    result = _run_point(
+                        point, engine=self.engine_overrides.get(point))
                 except Exception as exc:
                     kind = faults.classify(exc)
+                    if kind == faults.DIVERGENCE:
+                        self._divert_to_reference(point, exc, pending)
+                        break
                     if kind == faults.DETERMINISTIC:
                         self._fail(point, kind, exc,
                                    traceback=faults.capture_traceback(exc))
@@ -407,7 +461,8 @@ class _Supervisor:
                     try:
                         future = pool.submit(
                             _run_point_task, point, self.ordinals[point],
-                            self.attempts[point], self.keys[point])
+                            self.attempts[point], self.keys[point],
+                            self.engine_overrides.get(point))
                     except (BrokenExecutor, RuntimeError):
                         # The pool died between iterations; respawn next
                         # time around without charging the point a retry.
@@ -438,7 +493,9 @@ class _Supervisor:
                         if isinstance(exc, BrokenExecutor):
                             broken = True
                         kind = faults.classify(exc)
-                        if kind == faults.DETERMINISTIC:
+                        if kind == faults.DIVERGENCE:
+                            self._divert_to_reference(point, exc, pending)
+                        elif kind == faults.DETERMINISTIC:
                             self._retry_inline(point, exc)
                         else:
                             self._requeue_or_fail(point, kind, exc, pending)
@@ -479,6 +536,23 @@ class _Supervisor:
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Divergences handled gracefully by grids in this process, in order.
+_divergence_log: List[faults.PointFailure] = []
+
+
+def take_divergences() -> List[faults.PointFailure]:
+    """Drain the divergences recorded by grids run so far.
+
+    A divergence is downgraded, not dropped: the grid completes on the
+    reference engine and the event lands here for the end-of-run report
+    (the CLI prints it beside the failure table).  Draining resets the
+    log so each experiment reports only its own divergences.
+    """
+    global _divergence_log
+    drained, _divergence_log = _divergence_log, []
+    return drained
 
 
 def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
@@ -561,6 +635,8 @@ def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
     except BaseException:
         journal.close()  # keep the journal so the next run resumes
         raise
+    finally:
+        _divergence_log.extend(supervisor.divergences)
     results.update(computed)
     journal.complete()
     return results

@@ -45,7 +45,7 @@ from array import array
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments import diskcache, warnonce
+from repro.experiments import diskcache, env, warnonce
 from repro.experiments.cachekey import canonical_json, code_fingerprint, profile_to_dict
 from repro.isa.program import Program
 
@@ -68,7 +68,7 @@ _U32 = next(tc for tc in ("I", "L") if array(tc).itemsize == 4)
 
 def enabled() -> bool:
     """Is the trace-file layer on?  (``REPRO_TRACE_FILES=0`` turns it off.)"""
-    return os.environ.get("REPRO_TRACE_FILES", "1") not in ("0", "")
+    return env.get_flag("REPRO_TRACE_FILES", True)
 
 
 def trace_dir() -> Path:

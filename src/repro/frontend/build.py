@@ -18,7 +18,7 @@ measured and verified against.
 
 from __future__ import annotations
 
-import os
+import weakref
 from dataclasses import replace
 from typing import Optional
 
@@ -35,10 +35,59 @@ from repro.trace.fill_unit import FillUnit
 from repro.trace.trace_cache import TraceCache
 
 
+#: Every engine this factory built and that is still alive.  Weak so the
+#: registry never extends engine lifetime; used by
+#: :func:`reset_compiled_state` to drop compiled caches in place.
+_live_engines: "weakref.WeakSet" = weakref.WeakSet()
+
+
 def fast_frontend_enabled() -> bool:
     """True unless ``REPRO_FAST_FRONTEND=0`` selects the frozen reference
     front end (engines, predictors, fill unit and bias table)."""
-    return os.environ.get("REPRO_FAST_FRONTEND", "1") != "0"
+    from repro.experiments import env
+    return env.get_str("REPRO_FAST_FRONTEND", "1") != "0"
+
+
+def reset_compiled_state() -> None:
+    """Drop derived/compiled caches inside every live engine.
+
+    The fast stack memoizes aggressively: per-engine block and candidate
+    caches keyed by pc, the fill unit's segment memo and interned state
+    machine, and per-segment lazy artifacts (fetch slots, compiled fetch
+    plans, pattern-specialized variants).  All of these are keyed by
+    object identity or pc against the program the engine was built for —
+    a long-lived process that regenerates programs (the differential
+    fuzzer, notebook sessions) must be able to invalidate them without
+    rebuilding every engine.  Architectural state (predictor counters,
+    trace-cache contents, bias table) is deliberately untouched.
+    """
+    for engine in list(_live_engines):
+        for attr in ("_block_cache", "_cand_cache"):
+            cache = getattr(engine, attr, None)
+            if cache is not None:
+                cache.clear()
+        fill_unit = getattr(engine, "fill_unit", None)
+        if fill_unit is not None and hasattr(fill_unit, "_segment_memo"):
+            fill_unit._segment_memo.clear()
+            if hasattr(fill_unit, "_materialize"):
+                # Fast fill unit only: flush edge-hit state into the live
+                # lists first so dropping the interned node graph cannot
+                # lose pending slots (the reference copy keeps no state
+                # machine, its memo is the only derived cache).
+                fill_unit._materialize()
+                fill_unit._empty_node = [{}, (), (), 0, None]
+                fill_unit._state_nodes = {((), ()): fill_unit._empty_node}
+                fill_unit._cur_node = None
+                fill_unit._state_stale = False
+        trace_cache = getattr(engine, "trace_cache", None)
+        if trace_cache is not None:
+            for line_set in trace_cache._sets:
+                for segment in line_set:
+                    segment._fetch_slots = None
+                    segment._fetch_plan = None
+                    segment._variants = None
+                    segment._pattern_mask = -1
+                    segment._trace_key = 0
 
 
 def build_memory(config: FrontEndConfig, memory_config: Optional[MemoryConfig] = None) -> MemoryHierarchy:
@@ -83,7 +132,9 @@ def build_engine(program: Program, config: FrontEndConfig,
     memory = build_memory(config, memory_config)
     if config.kind == "icache":
         cls = ICacheFetchEngine if fast else fetch_reference.ICacheFetchEngine
-        return cls(program, memory)
+        engine = cls(program, memory)
+        _live_engines.add(engine)
+        return engine
     if config.kind != "tc":
         raise ValueError(f"unknown front end kind {config.kind!r}")
     trace_cache = TraceCache(n_lines=config.tc_lines, assoc=config.tc_assoc,
@@ -112,7 +163,7 @@ def build_engine(program: Program, config: FrontEndConfig,
     )
     predictor = build_predictor(config, fast=fast)
     engine_cls = TraceFetchEngine if fast else fetch_reference.TraceFetchEngine
-    return engine_cls(
+    engine = engine_cls(
         program=program,
         memory=memory,
         trace_cache=trace_cache,
@@ -120,3 +171,5 @@ def build_engine(program: Program, config: FrontEndConfig,
         predictor=predictor,
         inactive_issue=config.inactive_issue,
     )
+    _live_engines.add(engine)
+    return engine

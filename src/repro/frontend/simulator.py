@@ -86,11 +86,17 @@ class FrontEndSimulator:
         oracle: Optional[List[OracleEntry]] = None,
         max_instructions: Optional[int] = 100_000,
         engine=None,
+        observer=None,
     ):
         self.program = program
         self.config = config
         self.oracle = oracle if oracle is not None else compute_oracle(program, max_instructions)
         self.engine = engine if engine is not None else build_engine(program, config)
+        #: Optional validation observer (repro.validate.observer): its
+        #: ``wrap(fetch)`` intercepts every fetch — generic and compiled-
+        #: variant alike pass through the one ``fetch`` callable.  None
+        #: (the default) leaves the hot loop untouched.
+        self.observer = observer
         # This driver repairs from its own architectural GHR/RAS copies and
         # never reads FetchResult.control_snapshots; skip capturing them
         # (one RAS copy per fetched branch — only the core needs it).
@@ -111,6 +117,8 @@ class FrontEndSimulator:
         pc = self.program.entry
         engine = self.engine
         fetch = engine.fetch
+        if self.observer is not None:
+            fetch = self.observer.wrap(fetch)
         stats = self.stats
         cycle_accounting = stats.cycle_accounting
         match = self._match
@@ -278,7 +286,8 @@ class FrontEndSimulator:
                             note_recovery()
                             pc = oracle[i][0].addr
                             continue
-                        elif variant.divergence and fail_pos == variant.n_active - 1:
+                        elif (inactive_issue and variant.divergence
+                              and fail_pos == variant.n_active - 1):
                             # The trace disagreed with a (wrong) prediction
                             # at the diverging branch, so the inactively
                             # issued remainder is on the correct path: when

@@ -66,6 +66,14 @@ class BranchBiasTable:
         self._promoted_dirs = bytearray(entries)
         self.promotions = 0
         self.demotions = 0
+        # Structural self-checks, armed at construction: a True return
+        # from update_fast promises the fill unit that the slot really
+        # is promoted in the retired direction.  The checked wrapper is
+        # bound as an instance attribute only when armed, so the off
+        # path keeps the bare method — zero added cost per branch.
+        from repro import validate
+        if validate.invariants_armed():
+            self.update_fast = self._update_fast_checked
 
     def _slot(self, pc: int) -> int:
         return pc % self.entries
@@ -140,6 +148,19 @@ class BranchBiasTable:
                     return True
             return False
         return True
+
+    def _update_fast_checked(self, pc: int, taken: bool) -> bool:
+        """:meth:`update_fast` plus the promoted-consistency invariant."""
+        promoted = BranchBiasTable.update_fast(self, pc, taken)
+        slot = pc % self.entries
+        if promoted and not (self._tags[slot] == pc
+                             and self._promoted[slot]
+                             and bool(self._promoted_dirs[slot]) == taken):
+            from repro.validate.errors import InvariantError
+            raise InvariantError(
+                f"bias table promoted branch {pc:#x} inconsistently: "
+                f"entry={self._entry_view(slot)!r} taken={taken}")
+        return promoted
 
     def is_promoted(self, pc: int) -> bool:
         slot = pc % self.entries

@@ -25,7 +25,6 @@ count against the three-dynamic-branch limit.
 from __future__ import annotations
 
 import enum
-import os
 from collections import Counter
 from typing import List, Optional
 
@@ -68,11 +67,18 @@ class PackingPolicy(enum.Enum):
 #: instruction, so per-instruction allocation cost dominates its profile.
 _Slot = tuple
 
-#: Validate every finalized segment against its structural invariants.
-#: The checks are pure paranoia about fill-unit bugs (they re-walk each
-#: segment instruction by instruction) and cost ~15% of front-end
-#: simulation time, so they are opt-in: set ``REPRO_VALIDATE=1``.
-VALIDATE_SEGMENTS = os.environ.get("REPRO_VALIDATE", "") not in ("", "0")
+def _segment_validation_armed() -> bool:
+    """Validate every finalized segment against its structural invariants?
+
+    The checks are pure paranoia about fill-unit bugs (they re-walk each
+    segment instruction by instruction) and cost ~15% of front-end
+    simulation time, so they arm only when ``REPRO_VALIDATE`` enables a
+    validation mode (historically ``1``, now also ``lockstep`` /
+    ``sample``).  Evaluated per fill-unit construction, not at import,
+    so tests and the CLI can arm the guard after this module loads.
+    """
+    from repro import validate
+    return validate.invariants_armed()
 
 
 class FillUnit:
@@ -133,6 +139,8 @@ class FillUnit:
         #: transitions don't touch them; see :meth:`_materialize`).
         self._state_stale = False
         self._recording: Optional[list] = None
+        #: Segment invariant checks, armed at construction (zero cost off).
+        self._validate_segments = _segment_validation_armed()
 
     # ------------------------------------------------------------- retire
 
@@ -574,6 +582,6 @@ class FillUnit:
             finalize_reason=reason,
             next_addr=next_addr,
         )
-        if VALIDATE_SEGMENTS:
+        if self._validate_segments:
             segment.validate()
         return segment

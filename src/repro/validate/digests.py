@@ -1,0 +1,128 @@
+"""Compact state digests for cross-checking fast vs reference engines.
+
+A lockstep run cannot afford to serialize whole engines at every
+checkpoint, so equivalence is checked through SHA-256 digests of the
+state that actually drives future fetch behavior: the speculative
+(GHR, RAS) snapshot, the predictor counter tables, the trace-cache
+statistics and resident-segment count, the fill unit's finalization
+record, and the bias table's promotion counters.
+
+Everything here is duck-typed over *both* stacks: the fast tree and
+split predictors and their frozen reference copies deliberately share
+counter-table layouts (flat bytearrays), so their bytes are directly
+comparable; shared components (gshare, PAs, hybrid, indirect predictor,
+trace cache) digest through one code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+
+def _counter_bytes(predictor) -> bytes:
+    """The raw counter storage of any predictor organization.
+
+    * tree multiple-branch predictors (fast and reference) expose a flat
+      ``_table`` bytearray of rows x 7 counters;
+    * split predictors expose ``tables`` — per-block gshare predictors
+      whose ``counters._table`` bytearrays are concatenated;
+    * hybrid (icache front end) exposes gshare/PAs/selector components;
+    * anything else contributes nothing (both stacks then agree on the
+      empty string rather than crashing on an unknown organization).
+    """
+    table = getattr(predictor, "_table", None)
+    if table is not None and getattr(predictor, "tables", None) is None:
+        return bytes(table)
+    tables = getattr(predictor, "tables", None)
+    if tables is not None:
+        return b"".join(bytes(t.counters._table) for t in tables)
+    gshare = getattr(predictor, "gshare", None)
+    if gshare is not None:  # hybrid
+        return (bytes(predictor.gshare.counters._table)
+                + bytes(predictor.pas.counters._table)
+                + bytes(predictor.selector._table))
+    return b""
+
+
+def predictor_digest(predictor) -> str:
+    """Hex digest of a predictor's counter state."""
+    return hashlib.sha256(_counter_bytes(predictor)).hexdigest()
+
+
+def engine_digest(engine) -> str:
+    """Hex digest of everything that steers an engine's future fetches.
+
+    Identical inputs must yield identical digests across the fast and
+    reference stacks — that is the whole contract; any state the two
+    stacks legitimately represent differently (compiled variant caches,
+    memo tables) is excluded because it is derived, not architectural.
+    """
+    hasher = hashlib.sha256()
+    ghr, ras = engine.snapshot()
+    hasher.update(repr((ghr, tuple(ras))).encode())
+    predictor = getattr(engine, "predictor", None)
+    if predictor is not None:
+        hasher.update(_counter_bytes(predictor))
+    indirect = getattr(engine, "indirect", None)
+    if indirect is not None:
+        hasher.update(repr((tuple(indirect._tags),
+                            tuple(indirect._targets))).encode())
+    trace_cache = getattr(engine, "trace_cache", None)
+    if trace_cache is not None:
+        stats = trace_cache.stats
+        hasher.update(repr((stats.hits, stats.misses, stats.writes,
+                            stats.replacements, stats.overwrites,
+                            trace_cache.resident_segments())).encode())
+    fill_unit = getattr(engine, "fill_unit", None)
+    if fill_unit is not None:
+        hasher.update(repr((sorted(
+            (reason.value, count)
+            for reason, count in fill_unit.finalize_reasons.items()),
+            fill_unit.segments_built)).encode())
+        bias = fill_unit.bias_table
+        if bias is not None:
+            hasher.update(repr((bias.promotions, bias.demotions)).encode())
+    return hasher.hexdigest()
+
+
+def fetch_signature(pc: int, result) -> tuple:
+    """The externally visible outcome of one fetch, as comparable data.
+
+    This is the same signature the parity suite pins: the delivered
+    instruction addresses, their embedded directions and promotion
+    flags, the predicted successor, and the accounting attributes.  It
+    works on generic and compiled-variant fetch results alike.
+    """
+    return (
+        pc,
+        result.source,
+        result.next_pc,
+        tuple(inst.addr for inst in result.active),
+        tuple(result.active_dirs),
+        tuple(bool(p) for p in result.active_promoted),
+        result.predictions_used,
+        result.raw_reason,
+        result.divergence,
+        result.stall_cycles,
+    )
+
+
+def describe_signature(sig: Optional[tuple]) -> Optional[dict]:
+    """A JSON-safe rendering of a fetch signature for divergence reports."""
+    if sig is None:
+        return None
+    (pc, source, next_pc, addrs, dirs, promoted,
+     predictions, reason, divergence, stall) = sig
+    return {
+        "pc": pc,
+        "source": source,
+        "next_pc": next_pc,
+        "active_addrs": list(addrs),
+        "active_dirs": [None if d is None else bool(d) for d in dirs],
+        "active_promoted": list(promoted),
+        "predictions_used": predictions,
+        "raw_reason": getattr(reason, "value", str(reason)),
+        "divergence": bool(divergence),
+        "stall_cycles": stall,
+    }

@@ -1,0 +1,101 @@
+"""Divergence exceptions and the forced-divergence test latch.
+
+This module is a leaf (it imports nothing from the rest of the
+package), so any layer — including :mod:`repro.experiments.faults`,
+which must classify exceptions coming back from pool workers — can
+import it without cycles.
+
+:class:`DivergenceError` carries its state in ``args`` so it survives
+the default ``BaseException`` pickling round trip through a process
+pool: a worker that detects a divergence raises it, and the parent-side
+supervisor still sees the fetch index and the on-disk report path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DivergenceError(AssertionError):
+    """The fast engine disagreed with the frozen reference.
+
+    Subclasses :class:`AssertionError` because a divergence *is* a
+    violated correctness assertion; it gets its own type so the
+    scheduler can recognize it and requeue the point pinned to the
+    reference engine instead of treating it as an ordinary
+    deterministic simulation failure.
+    """
+
+    def __init__(self, message: str, fetch_index: int = -1,
+                 report_path: Optional[str] = None, injected: bool = False):
+        # Positional args only: BaseException pickles (type, args), so
+        # custom attributes set outside args would vanish on the trip
+        # from a pool worker back to the supervisor.
+        super().__init__(message, fetch_index, report_path, injected)
+        #: Expected/observed fetch signatures, attached by the observer
+        #: for report writing in the detecting process; not pickled.
+        self.expected = None
+        self.got = None
+
+    @property
+    def message(self) -> str:
+        return self.args[0]
+
+    @property
+    def fetch_index(self) -> int:
+        return self.args[1]
+
+    @property
+    def report_path(self) -> Optional[str]:
+        return self.args[2]
+
+    @property
+    def injected(self) -> bool:
+        return self.args[3]
+
+    def with_report(self, path) -> "DivergenceError":
+        """A copy of this error pointing at a written report file."""
+        clone = DivergenceError(self.args[0], self.args[1], str(path),
+                                self.args[3])
+        clone.expected = self.expected
+        clone.got = self.got
+        clone.__cause__ = self.__cause__
+        return clone
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class InvariantError(AssertionError):
+    """A structural invariant check failed while validation was armed."""
+
+
+# --------------------------------------------------- forced divergences
+#
+# The chaos harness (REPRO_FAULTS=diverge:pN) needs a way to make the
+# fast engine *appear* wrong without actually perturbing simulation
+# state: the lockstep observer consumes this latch at its next checked
+# fetch and raises a DivergenceError flagged as injected.  A plain
+# module-global counter — it only ever runs inside one armed worker.
+
+_forced = 0
+
+
+def arm_forced_divergence(count: int = 1) -> None:
+    """Make the next ``count`` observed fetches report a divergence."""
+    global _forced
+    _forced = max(0, count)
+
+
+def consume_forced_divergence() -> bool:
+    """True once per armed forced divergence (called by the observer)."""
+    global _forced
+    if _forced > 0:
+        _forced -= 1
+        return True
+    return False
+
+
+def forced_pending() -> bool:
+    """Whether a forced divergence is armed (for tests)."""
+    return _forced > 0

@@ -30,7 +30,10 @@ PACKAGES = [
     "repro.experiments.faults", "repro.experiments.checkpoint",
     "repro.experiments.diskcache", "repro.experiments.tracefile",
     "repro.experiments.warnonce", "repro.experiments.cachekey",
-    "repro.experiments.serialize",
+    "repro.experiments.serialize", "repro.experiments.env",
+    "repro.validate", "repro.validate.errors", "repro.validate.digests",
+    "repro.validate.observer", "repro.validate.lockstep",
+    "repro.validate.report",
     "repro.analysis", "repro.analysis.branches", "repro.analysis.tracecache",
     "repro.analysis.timeline",
     "repro.report", "repro.report.tables",

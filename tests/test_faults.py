@@ -30,7 +30,8 @@ REPO = Path(__file__).parent.parent
 
 _KNOBS = ("REPRO_DISK_CACHE", "REPRO_TRACE_FILES", "REPRO_FAULTS",
           "REPRO_RETRIES", "REPRO_POINT_TIMEOUT", "REPRO_KEEP_GOING",
-          "REPRO_RESUME", "REPRO_CHECKPOINTS", "REPRO_JOBS")
+          "REPRO_RESUME", "REPRO_CHECKPOINTS", "REPRO_JOBS",
+          "REPRO_VALIDATE")
 
 
 @pytest.fixture(autouse=True)
@@ -217,10 +218,10 @@ def _break_benchmark(monkeypatch, benchmark):
 
     real = scheduler._run_point
 
-    def selective(point):
+    def selective(point, **kwargs):
         if point.benchmark == benchmark:
             raise ValueError(f"injected bug in {benchmark}")
-        return real(point)
+        return real(point, **kwargs)
 
     monkeypatch.setattr(scheduler, "_run_point", selective)
     return real
@@ -250,7 +251,7 @@ def test_transient_failures_exhaust_retries(monkeypatch):
 
     attempts = []
 
-    def flaky(point):
+    def flaky(point, **kwargs):
         attempts.append(point)
         raise OSError("disk went away")
 
@@ -288,9 +289,9 @@ def test_failed_grid_leaves_journal_and_resume_recomputes_only_missing(
 
     recomputed = []
 
-    def counting(point):
+    def counting(point, **kwargs):
         recomputed.append(point)
-        return real(point)
+        return real(point, **kwargs)
 
     monkeypatch.setattr(scheduler, "_run_point", counting)
     runner.clear_caches()  # drop memos: only the journal can serve now
@@ -317,9 +318,9 @@ def test_no_resume_ignores_journal(monkeypatch):
 
     recomputed = []
 
-    def counting(point):
+    def counting(point, **kwargs):
         recomputed.append(point)
-        return real(point)
+        return real(point, **kwargs)
 
     monkeypatch.setattr(scheduler, "_run_point", counting)
     runner.clear_caches()
@@ -416,9 +417,9 @@ def test_sigkilled_run_resumes_from_journal(monkeypatch):
     real = scheduler._run_point
     recomputed = []
 
-    def counting(point):
+    def counting(point, **kwargs):
         recomputed.append(point)
-        return real(point)
+        return real(point, **kwargs)
 
     monkeypatch.setenv("REPRO_DISK_CACHE", "0")
     monkeypatch.setattr(scheduler, "_run_point", counting)
