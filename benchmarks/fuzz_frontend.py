@@ -11,6 +11,13 @@ result) raises, printing the seed so the case replays exactly:
 
     python benchmarks/fuzz_frontend.py --runs 1 --seed-base <seed>
 
+``--mode machine`` fuzzes the cycle-level core instead: the same random
+program, a random machine configuration (random front end, randomly
+perfect memory disambiguation, randomly warmed), run through both the
+columnar core + fast front end and the frozen seed core + reference
+front end, asserting the serialized ``MachineResult``s are
+byte-identical.  ``--mode both`` alternates.
+
 The CI validation job runs a fixed-seed smoke sweep (the harness is
 fully deterministic per seed); longer local sweeps just raise
 ``--runs``.  Exit status is nonzero on the first divergence.
@@ -104,6 +111,62 @@ def run_one(seed: int, length: int = DEFAULT_LENGTH) -> str:
     return f"{profile.name}/{config.describe()}"
 
 
+def random_machine_config(rng: np.random.Generator):
+    """A random complete machine: random front end, random core mode."""
+    from repro.config import CoreConfig, MachineConfig
+
+    return MachineConfig(
+        frontend=random_config(rng),
+        core=CoreConfig(perfect_disambiguation=bool(rng.random() < 0.3)))
+
+
+def run_one_machine(seed: int, length: int = DEFAULT_LENGTH) -> str:
+    """One machine-core fuzz case; returns a label, raises on divergence.
+
+    Pairs the columnar core with the fast front end and the frozen seed
+    core with the reference front end (the same pairing the runner's
+    lockstep guard uses), so a serialized-result mismatch flags a
+    divergence in either layer.  The machine window is a quarter of the
+    front-end budget — cycle-level runs are the slow part of a sweep.
+    """
+    from repro.core.machine import Machine
+    from repro.core.machine_reference import Machine as ReferenceMachine
+    from repro.experiments.cachekey import canonical_json
+    from repro.experiments.serialize import machine_result_to_dict
+    from repro.frontend.build import build_engine
+    from repro.frontend.simulator import FrontEndSimulator, compute_oracle
+    from repro.validate.errors import DivergenceError
+    from repro.workloads.generator import generate_program
+
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng)
+    config = random_machine_config(rng)
+    warmup = bool(rng.random() < 0.5)
+    program = generate_program(profile, seed=seed)
+    machine_n = max(500, length // 4)
+
+    def one_run(machine_cls, fast: bool):
+        engine = None
+        if warmup:
+            engine = build_engine(program, config.frontend,
+                                  memory_config=config.memory, fast=fast)
+            FrontEndSimulator(program, config.frontend,
+                              oracle=compute_oracle(program, length),
+                              engine=engine).run()
+        return machine_cls(program, config, max_instructions=machine_n,
+                           engine=engine).run()
+
+    reference = one_run(ReferenceMachine, fast=False)
+    fast_result = one_run(Machine, fast=True)
+    if canonical_json(machine_result_to_dict(fast_result)) != \
+            canonical_json(machine_result_to_dict(reference)):
+        raise DivergenceError(
+            "columnar machine diverged from reference: serialized "
+            "MachineResult mismatch")
+    warm = "warm" if warmup else "cold"
+    return f"{profile.name}/{config.describe()}/{warm}"
+
+
 def main(argv=None) -> int:
     from repro.validate.errors import DivergenceError
 
@@ -114,16 +177,26 @@ def main(argv=None) -> int:
                         help="first seed; case i uses seed-base + i")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH,
                         help=f"instructions per case (default {DEFAULT_LENGTH})")
+    parser.add_argument("--mode", choices=("frontend", "machine", "both"),
+                        default="frontend",
+                        help="which differential harness to drive: the "
+                             "front-end lockstep, the machine-core parity "
+                             "check, or alternating (default frontend)")
     args = parser.parse_args(argv)
 
     for i in range(args.runs):
         seed = args.seed_base + i
+        if args.mode == "machine" or (args.mode == "both" and i % 2):
+            case = run_one_machine
+        else:
+            case = run_one
         try:
-            label = run_one(seed, args.length)
+            label = case(seed, args.length)
         except DivergenceError as exc:
             print(f"\nDIVERGENCE at seed {seed}: {exc.message}")
-            print(f"replay: python {sys.argv[0]} --runs 1 "
-                  f"--seed-base {seed} --length {args.length}")
+            print(f"replay: python {sys.argv[0]} --mode "
+                  f"{'machine' if case is run_one_machine else 'frontend'} "
+                  f"--runs 1 --seed-base {seed} --length {args.length}")
             return 1
         if (i + 1) % 20 == 0 or i + 1 == args.runs:
             print(f"{i + 1}/{args.runs} ok (last: seed {seed}, {label})")

@@ -27,7 +27,7 @@ used to be silently ignored, which made typos look like real runs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import FrontEndConfig, MachineConfig
 from repro.core.machine import Machine, MachineResult
@@ -48,6 +48,28 @@ _programs: Dict[str, Program] = {}
 _oracles: Dict[Tuple[str, int], list] = {}
 _frontend: Dict[Tuple[str, FrontEndConfig, int], FrontEndResult] = {}
 _machine: Dict[Tuple[str, MachineConfig, int], MachineResult] = {}
+
+def fast_machine_enabled() -> bool:
+    """``REPRO_FAST_MACHINE``: the array-backed machine core (default on).
+
+    ``REPRO_FAST_MACHINE=0`` pins every machine run to the frozen seed
+    reference core (:mod:`repro.core.machine_reference`) — the escape
+    hatch mirroring ``REPRO_FAST_FRONTEND`` for the front end.
+    """
+    return env.get_flag("REPRO_FAST_MACHINE", True)
+
+
+def machine_multi_enabled() -> bool:
+    """``REPRO_MACHINE_MULTI``: one-pass multi-config machine batching.
+
+    When on (the default), the scheduler groups machine grid points that
+    share (benchmark, length, warmup) into one :func:`run_machine_multi`
+    batch so the oracle stream and program build are paid once per
+    benchmark instead of once per config.  ``REPRO_MACHINE_MULTI=0``
+    restores strictly per-point execution.
+    """
+    return env.get_flag("REPRO_MACHINE_MULTI", True)
+
 
 def quick_scale() -> float:
     """Run-length multiplier from the environment.
@@ -317,9 +339,74 @@ def _machine_one_stack(benchmark: str, config: MachineConfig, n: int,
                               memory_config=config.memory, fast=fast)
         FrontEndSimulator(program, config.frontend,
                           oracle=get_oracle(benchmark), engine=engine).run()
-    machine_cls = ReferenceMachine if fast is False else Machine
+    use_fast = fast_machine_enabled() if fast is None else fast
+    machine_cls = Machine if use_fast else ReferenceMachine
     return machine_cls(program, config, max_instructions=n,
                        engine=engine).run()
+
+
+def run_machine_multi(benchmark: str, configs: Sequence[MachineConfig],
+                      n: Optional[int] = None, warmup: bool = True,
+                      engine: Optional[str] = None) -> List[MachineResult]:
+    """One-pass machine runs for several configs of one benchmark.
+
+    The correct-path oracle stream and the generated program are
+    resolved **once** and shared across every config in the batch; each
+    config still gets its own fetch engine, its own warmup pass and its
+    own machine window, so every result is byte-identical to an
+    independent :func:`machine_result` call and is stored under the
+    *unchanged* per-config cache key (the disk cache and checkpoint
+    journals keep deduping per point).
+
+    Configs already satisfied by the memo or disk cache are served from
+    there; only the misses simulate.  With ``REPRO_VALIDATE`` armed the
+    batch degrades to per-point :func:`machine_result` calls, because
+    the lockstep guard is inherently per point.
+    """
+    if n is None:
+        n = machine_length(benchmark)
+    results: List[Optional[MachineResult]] = []
+    missing: List[int] = []
+    for i, config in enumerate(configs):
+        cached = cached_machine_result(benchmark, config, n, warmup=warmup)
+        results.append(cached)
+        if cached is None:
+            missing.append(i)
+    if not missing:
+        return results
+    from repro import validate
+    if engine is None and validate.armed():
+        for i in missing:
+            results[i] = machine_result(benchmark, configs[i], n,
+                                        warmup=warmup)
+        return results
+    if engine is not None:
+        _discard_forced_divergence()
+    from repro.core.machine_reference import Machine as ReferenceMachine
+    from repro.frontend.build import build_engine
+    fast = None if engine is None else (engine != "reference")
+    use_fast = fast_machine_enabled() if fast is None else fast
+    machine_cls = Machine if use_fast else ReferenceMachine
+    # Shared across the whole batch: one program build, one oracle
+    # resolution (trace-file load or functional execution).
+    program = get_program(benchmark)
+    oracle = get_oracle(benchmark) if warmup else None
+    for i in missing:
+        config = configs[i]
+        built = None
+        if warmup:
+            built = build_engine(program, config.frontend,
+                                 memory_config=config.memory, fast=fast)
+            FrontEndSimulator(program, config.frontend, oracle=oracle,
+                              engine=built).run()
+        result = machine_cls(program, config, max_instructions=n,
+                             engine=built).run()
+        diskcache.store(machine_cache_key(benchmark, config, n,
+                                          warmup=warmup),
+                        "machine", machine_result_to_dict(result))
+        _machine[(benchmark, config, n)] = result
+        results[i] = result
+    return results
 
 
 def cached_machine_result(benchmark: str, config: MachineConfig,

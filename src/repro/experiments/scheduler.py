@@ -115,6 +115,66 @@ class GridPoint:
         return replace(self, n=n)
 
 
+@dataclass(frozen=True)
+class _MachineBatch:
+    """Several machine points of one benchmark run as one pool task.
+
+    The members share (benchmark, length, warmup), so the worker drives
+    them through :func:`repro.experiments.runner.run_machine_multi` and
+    pays the oracle resolution and program build once for the whole
+    batch.  Results, cache keys and journal entries stay strictly
+    per-point — the batch is an execution grouping, not a cache unit.
+
+    Batches are an optimistic fast path: any failure (exception,
+    timeout, divergence) splits the batch back into its member points,
+    which then go through the ordinary per-point supervision policy.
+    """
+
+    benchmark: str
+    n: int
+    warmup: bool
+    points: Tuple[GridPoint, ...]
+
+
+def _batch_machine_points(points: Sequence[GridPoint],
+                          jobs: int) -> List[Any]:
+    """Group compatible machine points into multi-config batches.
+
+    Machine points sharing (benchmark, length, warmup) collapse into one
+    :class:`_MachineBatch`; front-end points and singletons pass through
+    unchanged.  With a parallel pool, batching only happens when enough
+    units remain to keep every worker busy — otherwise per-point fan-out
+    wins the makespan and the grouping is skipped.
+    """
+    groups: Dict[Tuple[str, int, bool], List[GridPoint]] = {}
+    order: List[Any] = []
+    for point in points:
+        if point.kind == MACHINE:
+            key = (point.benchmark, point.n, point.warmup)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = []
+                order.append(("group", key))
+            group.append(point)
+        else:
+            order.append(("point", point))
+    units: List[Any] = []
+    for tag, item in order:
+        if tag == "point":
+            units.append(item)
+        else:
+            members = groups[item]
+            if len(members) >= 2:
+                benchmark, n, warmup = item
+                units.append(_MachineBatch(benchmark, n, warmup,
+                                           tuple(members)))
+            else:
+                units.extend(members)
+    if jobs > 1 and len(units) < min(jobs, len(points)):
+        return list(points)  # batching would leave workers idle
+    return units
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
     if jobs is None:
@@ -139,6 +199,8 @@ def _estimated_cost(point: GridPoint) -> int:
     window plus an oracle-driven front-end warmup at the benchmark's
     full default length; front-end points pay their length directly.
     """
+    if isinstance(point, _MachineBatch):
+        return sum(_estimated_cost(member) for member in point.points)
     if point.kind == MACHINE:
         cost = _MACHINE_COST_FACTOR * point.n
         if point.warmup:
@@ -170,8 +232,13 @@ def _result_from_payload(point: GridPoint, payload: Dict[str, Any]):
     return machine_result_from_dict(payload)
 
 
-def _oracle_needs(point: GridPoint) -> List[Tuple[str, int]]:
+def _oracle_needs(point) -> List[Tuple[str, int]]:
     """The (benchmark, length) oracle streams this point will consume."""
+    if isinstance(point, _MachineBatch):
+        needs: List[Tuple[str, int]] = []
+        for member in point.points:
+            needs.extend(_oracle_needs(member))
+        return needs
     if point.kind == FRONTEND:
         return [(point.benchmark, point.n)]
     if point.warmup:
@@ -197,12 +264,17 @@ def _worker_init(emitted_keys: Tuple[str, ...]) -> None:
     faults.mark_worker()
 
 
-def _run_point(point: GridPoint, engine: Optional[str] = None):
-    """Execute one resolved point through the runner (memo+disk aware).
+def _run_point(point, engine: Optional[str] = None):
+    """Execute one resolved point (or machine batch) through the runner.
 
     ``engine="reference"`` pins the run to the frozen reference stack —
     the supervisor's degradation path after a detected divergence.
+    Batches return the member results in member order.
     """
+    if isinstance(point, _MachineBatch):
+        return runner.run_machine_multi(
+            point.benchmark, [member.config for member in point.points],
+            point.n, warmup=point.warmup, engine=engine)
     if point.kind == FRONTEND:
         return runner.frontend_result(point.benchmark, point.config, point.n,
                                       engine=engine)
@@ -288,12 +360,42 @@ class _Supervisor:
 
     # ------------------------------------------------------------ outcomes
 
-    def _record(self, point: GridPoint, result) -> None:
-        """A point completed: admit, remember, journal."""
+    def _task_key(self, unit) -> str:
+        """The cache key identifying a task (first member for batches)."""
+        if isinstance(unit, _MachineBatch):
+            return self.keys[unit.points[0]]
+        return self.keys[unit]
+
+    def _record(self, point, result) -> None:
+        """A point completed: admit, remember, journal.
+
+        A batch records each member under its own per-point key.
+        """
+        if isinstance(point, _MachineBatch):
+            for member, member_result in zip(point.points, result):
+                self._record(member, member_result)
+            return
         _admit(point, result)
         self.results[point] = result
         self.journal.record(self.keys[point], point.kind,
                             _result_to_payload(point, result))
+
+    def _split_batch(self, batch: _MachineBatch,
+                     pending: Deque) -> None:
+        """A batch hit trouble: degrade to per-point supervision.
+
+        Members are requeued as ordinary points (no retry consumed — the
+        batch was an optimistic grouping, not an attempt of any single
+        point) and inherit the batch's engine pin, if any.
+        """
+        override = self.engine_overrides.get(batch)
+        ordinal = self.ordinals.get(batch, 0)
+        for member in batch.points:
+            self.attempts.setdefault(member, 0)
+            self.ordinals.setdefault(member, ordinal)
+            if override is not None:
+                self.engine_overrides.setdefault(member, override)
+            pending.append(member)
 
     def _fail(self, point: GridPoint, kind: str, exc: BaseException,
               traceback: str = "", attempts: Optional[int] = None) -> None:
@@ -400,6 +502,9 @@ class _Supervisor:
                     result = _run_point(
                         point, engine=self.engine_overrides.get(point))
                 except Exception as exc:
+                    if isinstance(point, _MachineBatch):
+                        self._split_batch(point, pending)
+                        break
                     kind = faults.classify(exc)
                     if kind == faults.DIVERGENCE:
                         self._divert_to_reference(point, exc, pending)
@@ -461,7 +566,7 @@ class _Supervisor:
                     try:
                         future = pool.submit(
                             _run_point_task, point, self.ordinals[point],
-                            self.attempts[point], self.keys[point],
+                            self.attempts[point], self._task_key(point),
                             self.engine_overrides.get(point))
                     except (BrokenExecutor, RuntimeError):
                         # The pool died between iterations; respawn next
@@ -492,6 +597,9 @@ class _Supervisor:
                     except Exception as exc:
                         if isinstance(exc, BrokenExecutor):
                             broken = True
+                        if isinstance(point, _MachineBatch):
+                            self._split_batch(point, pending)
+                            continue
                         kind = faults.classify(exc)
                         if kind == faults.DIVERGENCE:
                             self._divert_to_reference(point, exc, pending)
@@ -509,6 +617,9 @@ class _Supervisor:
                     for future in overdue:
                         point = inflight.pop(future)
                         deadlines.pop(future, None)
+                        if isinstance(point, _MachineBatch):
+                            self._split_batch(point, pending)
+                            continue
                         self._requeue_or_fail(
                             point, faults.TIMEOUT,
                             faults.PointTimeout(
@@ -627,9 +738,12 @@ def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
                      timeout=faults.resolve_timeout(timeout),
                      backoff=faults.resolve_backoff(),
                      keep_going=faults.resolve_keep_going(keep_going))
-    if tracefile.enabled() and policy.jobs > 1 and len(misses) > 1:
-        _prewrite_traces(misses)
-    supervisor = _Supervisor(misses, keys, policy, journal)
+    units: List[Any] = list(misses)
+    if runner.machine_multi_enabled():
+        units = _batch_machine_points(misses, policy.jobs)
+    if tracefile.enabled() and policy.jobs > 1 and len(units) > 1:
+        _prewrite_traces(units)
+    supervisor = _Supervisor(units, keys, policy, journal)
     try:
         computed = supervisor.run()
     except BaseException:

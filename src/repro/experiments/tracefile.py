@@ -9,17 +9,26 @@ is computed **once per (benchmark, length) machine-wide**; every other
 process memory-maps the file read-only and rebuilds the in-memory stream
 with three C-level array copies instead of a functional re-execution.
 
-File layout (little-endian, word-addressed ISA):
+File layout (little-endian, word-addressed ISA), format version 2:
 
-* 24-byte header: magic ``b"RPTR"``, format version (u32), record count
-  (u64), and a CRC32 of the three payload arrays (u32, for corruption
-  detection — a truncated or bit-flipped file must degrade to a cold
-  recompute, never to a wrong figure);
+* 28-byte header: magic ``b"RPTR"``, format version (u32), record count
+  (u64), payload column count (u32 — self-describing so future formats
+  can append columns without a magic change), and a CRC32 of the payload
+  arrays (u32, for corruption detection — a truncated or bit-flipped
+  file must degrade to a cold recompute, never to a wrong figure);
 * ``count`` u32 instruction addresses (``program.instructions[a].addr
   == a``, so an address is also an index into the code image);
 * ``count`` direction bytes (0 = not taken, 1 = taken, 2 = not a
   conditional branch);
 * ``count`` u32 correct-path successor addresses.
+
+Version 2 also changed the in-memory contract: :func:`load_oracle`
+returns an :class:`OracleTrace` — a list of row tuples (drop-in for
+every existing consumer) that *also* carries the three column-major
+payload arrays, so bulk consumers (re-stores, machine-side replay
+scans, benchmarks) read arrays instead of a million tuples, and
+:func:`store_oracle` serializes a column-carrying stream with three
+C-level copies instead of a per-record packing loop.
 
 Robustness mirrors :mod:`repro.experiments.diskcache`: writes are atomic
 (temp file + ``os.replace``), and unreadable, truncated, wrong-version or
@@ -51,9 +60,12 @@ from repro.isa.program import Program
 
 _MAGIC = b"RPTR"
 #: Bump when the record layout changes; old files then fail the header
-#: check and are deleted rather than misread.
-TRACE_FORMAT_VERSION = 1
-_HEADER = struct.Struct("<4sIQI")  # magic, version, count, payload crc32
+#: check and are deleted rather than misread.  v1 -> v2: the header
+#: gained the payload column count and the loader started returning the
+#: column-carrying :class:`OracleTrace` view.
+TRACE_FORMAT_VERSION = 2
+_HEADER = struct.Struct("<4sIQII")  # magic, version, count, ncols, crc32
+_NCOLS = 3  # addresses, directions, successors
 _SUFFIX = ".trace"
 
 #: Direction byte for "not a conditional branch" (oracle ``taken is None``).
@@ -64,6 +76,58 @@ _DIR_BYTES = bytes((0, 1, _NOT_BRANCH))
 
 #: array typecode with a 4-byte item ("I" on every mainstream platform).
 _U32 = next(tc for tc in ("I", "L") if array(tc).itemsize == 4)
+
+
+class OracleTrace(list):
+    """Row-major oracle stream carrying its column-major backing arrays.
+
+    A drop-in ``list`` of ``(instruction, taken, next_pc)`` records —
+    every existing consumer keeps indexing rows — plus the three bulk
+    columns the trace file stores:
+
+    * ``addrs`` — u32 :class:`array.array` of instruction addresses
+      (indices into the code image);
+    * ``dirs`` — ``bytes`` of direction codes (0/1/2, see module doc);
+    * ``next_pcs`` — u32 :class:`array.array` of correct-path successors.
+
+    Bulk walks (branch-density scans, machine-side replay statistics,
+    benchmark loaders) should read the columns; :func:`store_oracle`
+    recognizes the class and serializes the columns directly instead of
+    re-packing record by record.
+    """
+
+    __slots__ = ("addrs", "dirs", "next_pcs")
+
+    def __init__(self, rows, addrs, dirs, next_pcs):
+        super().__init__(rows)
+        self.addrs = addrs
+        self.dirs = dirs
+        self.next_pcs = next_pcs
+
+
+def as_columns(oracle: List[tuple]) -> "OracleTrace":
+    """The column-carrying view of any oracle stream.
+
+    An :class:`OracleTrace` passes through unchanged; a plain row list
+    gets its columns built once (the same packing loop a v1 store paid
+    per call).
+    """
+    if isinstance(oracle, OracleTrace):
+        return oracle
+    count = len(oracle)
+    addrs = array(_U32)
+    next_pcs = array(_U32)
+    dirs = bytearray(count)
+    addr_append = addrs.append
+    next_append = next_pcs.append
+    for i, (inst, taken, next_pc) in enumerate(oracle):
+        addr_append(inst.addr)
+        if taken is not None:
+            dirs[i] = 1 if taken else 0
+        else:
+            dirs[i] = _NOT_BRANCH
+        next_append(next_pc)
+    return OracleTrace(oracle, addrs, bytes(dirs), next_pcs)
 
 
 def enabled() -> bool:
@@ -109,24 +173,17 @@ def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
     """
     if not enabled():
         return None
-    count = len(oracle)
-    addrs = array(_U32)
-    next_pcs = array(_U32)
-    dirs = bytearray(count)
-    addr_append = addrs.append
-    next_append = next_pcs.append
-    for i, (inst, taken, next_pc) in enumerate(oracle):
-        addr_append(inst.addr)
-        if taken is not None:
-            dirs[i] = 1 if taken else 0
-        else:
-            dirs[i] = _NOT_BRANCH
-        next_append(next_pc)
+    columns = as_columns(oracle)
+    count = len(columns)
+    addrs = columns.addrs
+    next_pcs = columns.next_pcs
     if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+        addrs = array(_U32, addrs)
+        next_pcs = array(_U32, next_pcs)
         addrs.byteswap()
         next_pcs.byteswap()
     a_bytes = addrs.tobytes()
-    d_bytes = bytes(dirs)
+    d_bytes = bytes(columns.dirs)
     p_bytes = next_pcs.tobytes()
     crc = zlib.crc32(a_bytes)
     crc = zlib.crc32(d_bytes, crc)
@@ -139,7 +196,7 @@ def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(_HEADER.pack(_MAGIC, TRACE_FORMAT_VERSION,
-                                          count, crc))
+                                          count, _NCOLS, crc))
                 handle.write(a_bytes)
                 handle.write(d_bytes)
                 handle.write(p_bytes)
@@ -159,7 +216,8 @@ def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
 
 # ------------------------------------------------------------------- read
 
-def load_oracle(benchmark: str, n: int, program: Program) -> Optional[List[tuple]]:
+def load_oracle(benchmark: str, n: int,
+                program: Program) -> Optional[OracleTrace]:
     """Rebuild an oracle stream from its trace file, or None on miss.
 
     The file is memory-mapped read-only; the three payload arrays are
@@ -181,9 +239,11 @@ def load_oracle(benchmark: str, n: int, program: Program) -> Optional[List[tuple
     try:
         try:
             header = mm[:_HEADER.size]
-            magic, version, count, crc = _HEADER.unpack(header)
+            magic, version, count, ncols, crc = _HEADER.unpack(header)
             if magic != _MAGIC or version != TRACE_FORMAT_VERSION:
                 raise ValueError("bad magic or version")
+            if ncols != _NCOLS:
+                raise ValueError("unexpected column count")
             a_off = _HEADER.size
             d_off = a_off + 4 * count
             p_off = d_off + count
@@ -205,10 +265,12 @@ def load_oracle(benchmark: str, n: int, program: Program) -> Optional[List[tuple
                           or dirs.translate(None, _DIR_BYTES)):
                 raise ValueError("address or direction off the image")
             # All-C reconstruction: three mapped columns zipped into the
-            # stream's (instruction, taken, next_pc) tuples.
-            return list(zip(map(instructions.__getitem__, addrs),
-                            map(_TAKEN.__getitem__, dirs),
-                            next_pcs))
+            # stream's (instruction, taken, next_pc) tuples, returned
+            # with the columns attached for bulk consumers.
+            return OracleTrace(zip(map(instructions.__getitem__, addrs),
+                                   map(_TAKEN.__getitem__, dirs),
+                                   next_pcs),
+                               addrs, dirs, next_pcs)
         finally:
             mm.close()
     except (ValueError, struct.error) as problem:
