@@ -109,6 +109,34 @@ class MultipleBranchPredictor:
         elif value > 0:
             self._table[slot] = value - 1
 
+    def update_batch(self, tokens, metas) -> None:
+        """Train one fetch's branches in a single call.
+
+        ``tokens[k]`` is the row index captured at prediction time and
+        ``metas[k]`` the compiled plan's ``(path, taken)`` training
+        record for position ``k``.  Identical counter movements to
+        calling :meth:`update` per branch — the batch exists so the
+        fetch-plan retire path pays one Python call per fetch instead of
+        one per branch (the tree index and saturation are inlined; a
+        numpy scatter would not help at <= 3 counters per fetch, and
+        same-row updates within a fetch are order-dependent anyway).
+        """
+        table = self._table
+        for k, (path, taken) in enumerate(metas):
+            if k == 0:
+                offset = 0
+            elif k == 1:
+                offset = 1 + int(path[0])
+            else:
+                offset = 3 + (int(path[0]) << 1 | int(path[1]))
+            slot = tokens[k] * 7 + offset
+            value = table[slot]
+            if taken:
+                if value < 3:
+                    table[slot] = value + 1
+            elif value > 0:
+                table[slot] = value - 1
+
     def storage_bits(self) -> int:
         return self.rows * 7 * 2
 
@@ -156,6 +184,26 @@ class SplitMultiplePredictor:
         """``path`` is accepted for interface parity; the split tables
         condition on position only."""
         self.tables[position].update(index, taken)
+
+    def update_batch(self, tokens, metas) -> None:
+        """Train one fetch's branches in a single call.
+
+        Position ``k`` trains table ``k`` at the prediction-time index
+        ``tokens[k]`` (already masked to the table).  Same counter
+        movements as per-branch :meth:`update`; see
+        :meth:`MultipleBranchPredictor.update_batch` for why this is a
+        batched scalar loop rather than a numpy scatter.
+        """
+        fast = self._fast
+        for k, (_path, taken) in enumerate(metas):
+            table = fast[k][2]
+            index = tokens[k]
+            value = table[index]
+            if taken:
+                if value < 3:
+                    table[index] = value + 1
+            elif value > 0:
+                table[index] = value - 1
 
     def storage_bits(self) -> int:
         return sum(table.storage_bits() for table in self.tables)

@@ -20,7 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # the frozen stack predates the bytearray layouts and keeps its
+    # numpy BHT; the import error is deferred to the one class using it.
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    np = None
 
 
 
@@ -164,6 +168,9 @@ class PAsPredictor:
     """
 
     def __init__(self, history_bits: int = 15, bht_entries: int = 4096):
+        if np is None:
+            raise RuntimeError(
+                "the frozen reference predictor stack requires numpy")
         self.history_bits = history_bits
         self.history_mask = (1 << history_bits) - 1
         self.bht_entries = bht_entries

@@ -1,0 +1,245 @@
+"""Vectorized column scans over oracle streams (``REPRO_VECTOR``).
+
+The tracefile v2 format already stores the oracle stream column-major —
+u32 instruction addresses, direction bytes, u32 successors — yet until
+this module every bulk consumer re-walked the stream row by row in
+Python.  Here those walks become single array passes over numpy views:
+
+* **per-program flag tables** — :func:`program_flags` builds (and caches
+  on the program) dense u8 arrays indexed by instruction address: the
+  opcode's commit code, its ``ends_fetch_block`` bit and its
+  ``is_cond_branch`` bit.  One ``flags[addrs]`` gather then classifies a
+  whole dynamic stream at once;
+* **branch masks and run structure** — :func:`branch_mask` and
+  :func:`run_length_encode` expose the taken/not-taken run encoding that
+  bias-table retirement counting and branch-population profiling
+  collapse over;
+* **fetch-block segmentation** — :func:`fetch_block_sizes` and
+  :func:`block_size_counter` turn the per-record "does this end a
+  block?" loop into ``flatnonzero`` + ``diff``;
+* **site aggregation** — :func:`site_counts` bincounts dynamic
+  executions per static site while preserving the scalar paths'
+  first-occurrence dict ordering;
+* **stream census** — :func:`oracle_census` is the one-call replay scan
+  the throughput bench records.
+
+Everything is gated behind :func:`enabled`: ``REPRO_VECTOR=0`` (routed
+through :mod:`repro.experiments.env`) or a missing numpy selects the
+original scalar paths in every consumer, so numpy stays an *optional*
+accelerator — the scalar fallback is the reference semantics and the
+differential fuzzer drives both modes against each other.  When the
+flag asks for vector mode but numpy is absent, :func:`enabled` warns
+once (via :mod:`repro.experiments.warnonce`) so a silently slow run is
+diagnosable.
+
+This module is a leaf like :mod:`repro.experiments.env`: it imports
+only the env/warn-once helpers (and numpy when present), so tracefile,
+workloads, trace and branch layers can all use it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import NamedTuple, Optional, Tuple
+
+from repro.experiments import env, warnonce
+
+try:  # numpy is an optional accelerator, never a hard dependency here
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    np = None
+
+#: Direction byte for "not a conditional branch" — the tracefile v2
+#: encoding (kept in sync with ``tracefile._NOT_BRANCH``; this module
+#: must stay importable from tracefile, so it owns its own copy).
+NOT_BRANCH = 2
+
+#: ``numpy.bincount`` width for commit-code class counts (codes 0..9).
+_N_COMMIT_CODES = 10
+
+
+def available() -> bool:
+    """Is numpy importable?  (Monkeypatch ``columns.np`` to simulate not.)"""
+    return np is not None
+
+
+def vector_requested() -> bool:
+    """Does the environment ask for vector mode?  (Default: yes.)"""
+    return env.get_flag("REPRO_VECTOR", True)
+
+
+def enabled() -> bool:
+    """Should consumers take the vectorized paths?
+
+    True only when ``REPRO_VECTOR`` is on (the default) *and* numpy is
+    importable.  Asking for vector mode without numpy warns once — a
+    sweep silently running the scalar fallback is a diagnosable
+    condition, not a mystery slowdown.
+    """
+    if not vector_requested():
+        return False
+    if np is None:
+        warnonce.warn_once(
+            "vector-numpy-missing",
+            "REPRO_VECTOR is enabled but numpy is not importable; "
+            "falling back to the scalar oracle/statistics paths "
+            "(install the [vector] extra to restore throughput)")
+        return False
+    return True
+
+
+# -------------------------------------------------------- array adapters
+
+def as_u32(column):
+    """A u32 ndarray view of a column (zero-copy for buffer-backed inputs).
+
+    Accepts the backings :class:`repro.experiments.tracefile.OracleTrace`
+    columns use: an ``array('I')``, ``bytes``, a memoryview slice, or an
+    ndarray (passed through).
+    """
+    if isinstance(column, np.ndarray):
+        return column
+    return np.frombuffer(column, dtype=np.dtype("<u4"))
+
+
+def as_u8(column):
+    """A u8 ndarray view of a byte column (zero-copy, see :func:`as_u32`)."""
+    if isinstance(column, np.ndarray):
+        return column
+    return np.frombuffer(column, dtype=np.uint8)
+
+
+# ------------------------------------------------------- program tables
+
+class ProgramFlags(NamedTuple):
+    """Dense per-address opcode flags for one program (u8 arrays).
+
+    ``commit_codes[a]`` is ``instructions[a].op.commit_code`` (the small
+    int the commit pipeline dispatches on: STORE=1, LOAD=2,
+    COND_BRANCH=3, CALL=4, RETURN=5, INDIRECT=6, TRAP=7, HALT=8, MUL=9,
+    plain ALU/JUMP/NOP=0), ``ends_fetch_block[a]`` / ``is_cond_branch[a]``
+    the corresponding precomputed opcode bits.  Indexing these with a
+    dynamic address column classifies the whole stream in one gather.
+    """
+
+    commit_codes: "np.ndarray"
+    ends_fetch_block: "np.ndarray"
+    is_cond_branch: "np.ndarray"
+
+
+def program_flags(program) -> ProgramFlags:
+    """The (cached) :class:`ProgramFlags` tables for ``program``.
+
+    Built with one pass over the *static* code image and cached on the
+    program object, so every dynamic-stream scan of any length reuses
+    the same tables.
+    """
+    flags = getattr(program, "_column_flags", None)
+    if flags is None:
+        count = len(program.instructions)
+        commit = np.zeros(count, dtype=np.uint8)
+        ends = np.zeros(count, dtype=np.uint8)
+        cond = np.zeros(count, dtype=np.uint8)
+        for index, inst in enumerate(program.instructions):
+            op = inst.op
+            commit[index] = op.commit_code
+            if op.ends_fetch_block:
+                ends[index] = 1
+            if op.is_cond_branch:
+                cond[index] = 1
+        flags = ProgramFlags(commit, ends, cond)
+        program._column_flags = flags
+    return flags
+
+
+# -------------------------------------------------------- stream scans
+
+def branch_mask(dirs) -> "np.ndarray":
+    """Boolean mask of the conditional-branch rows of a direction column."""
+    return as_u8(dirs) != NOT_BRANCH
+
+
+def run_length_encode(values) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """``(starts, lengths, run_values)`` of the maximal constant runs.
+
+    The taken/not-taken run structure of a branch-outcome column is what
+    promotion thresholds quantify; this is its one-pass encoding.
+    """
+    values = np.asarray(values)
+    count = values.size
+    if not count:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty.copy(), values[:0]
+    changes = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.intp), changes))
+    lengths = np.diff(starts, append=count)
+    return starts, lengths, values[starts]
+
+
+def fetch_block_ends(addrs, program) -> "np.ndarray":
+    """Stream positions whose instruction ends a fetch block."""
+    ends = program_flags(program).ends_fetch_block
+    return np.flatnonzero(ends[as_u32(addrs)])
+
+
+def fetch_block_sizes(addrs, program) -> "np.ndarray":
+    """Sizes of every *completed* dynamic fetch block, in stream order.
+
+    A trailing partial block (the run truncated mid-block by the
+    instruction budget) is not counted — same contract as the scalar
+    per-record segmentation in :mod:`repro.workloads.stats`.
+    """
+    ends = fetch_block_ends(addrs, program)
+    return np.diff(ends, prepend=-1)
+
+
+def block_size_counter(addrs, program, cap: int = 16) -> Counter:
+    """Fetch-block size histogram, sizes clipped at ``cap`` (paper Fig. 4).
+
+    Keys are inserted in first-occurrence order, matching the scalar
+    per-record Counter exactly (iteration order included) so serialized
+    figures are mode-independent.
+    """
+    clipped = np.minimum(fetch_block_sizes(addrs, program), cap)
+    sizes, counts = site_counts(clipped)
+    return Counter(dict(zip((int(s) for s in sizes.tolist()),
+                            (int(c) for c in counts.tolist()))))
+
+
+def first_seen(values) -> "np.ndarray":
+    """Unique values ordered by first occurrence (scalar dict ordering)."""
+    unique, first = np.unique(np.asarray(values), return_index=True)
+    return unique[np.argsort(first, kind="stable")]
+
+
+def site_counts(values) -> Tuple["np.ndarray", "np.ndarray"]:
+    """``(sites, counts)`` per unique value, in first-occurrence order.
+
+    Matches the insertion order of the scalar ``dict.get(addr, 0) + 1``
+    loops byte for byte, so vector-built site dicts iterate identically.
+    """
+    unique, first, counts = np.unique(np.asarray(values),
+                                      return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return unique[order], counts[order]
+
+
+def oracle_census(oracle_addrs, oracle_dirs, program) -> dict:
+    """One-pass replay census of an oracle stream (bench + sanity scan).
+
+    Returns the bulk counts a scalar row walk would tally: dynamic
+    instructions, conditional/taken branches, completed fetch blocks,
+    distinct static addresses touched, and the commit-code class counts.
+    """
+    addrs = as_u32(oracle_addrs)
+    dirs = as_u8(oracle_dirs)
+    commit = program_flags(program).commit_codes[addrs]
+    class_counts = np.bincount(commit, minlength=_N_COMMIT_CODES)
+    return {
+        "dynamic_instructions": int(addrs.size),
+        "cond_branches": int(np.count_nonzero(dirs != NOT_BRANCH)),
+        "taken_branches": int(np.count_nonzero(dirs == 1)),
+        "fetch_blocks": int(fetch_block_ends(addrs, program).size),
+        "static_touched": int(np.unique(addrs).size),
+        "class_counts": [int(c) for c in class_counts.tolist()],
+    }

@@ -102,6 +102,7 @@ def clear_caches(disk: bool = False) -> None:
     _oracles.clear()
     _frontend.clear()
     _machine.clear()
+    tracefile.clear_column_memo()
     warnonce.reset()
     from repro.frontend.build import reset_compiled_state
     reset_compiled_state()
@@ -144,7 +145,10 @@ def get_oracle(benchmark: str, n: Optional[int] = None) -> list:
         program = get_program(benchmark)
         oracle = tracefile.load_oracle(benchmark, n, program)
         if oracle is None:
-            oracle = compute_oracle(program, n)
+            # Memoize the column-carrying view: every bulk consumer of
+            # this stream (stores, vector scans, the machine batcher's
+            # shared resolution) then reuses one column build.
+            oracle = tracefile.as_columns(compute_oracle(program, n))
             tracefile.store_oracle(benchmark, n, oracle)
         _oracles[key] = oracle
     return oracle

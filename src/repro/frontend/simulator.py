@@ -141,6 +141,16 @@ class FrontEndSimulator:
         # (token, position) pair train_branch would have unpacked.
         predictor = getattr(engine, "predictor", None)
         predictor_update = predictor.update if predictor is not None else None
+        # Batched per-fetch training (REPRO_VECTOR): one update_batch call
+        # flushes a compiled plan's whole training record instead of one
+        # Python call per branch.  Counter movements are identical, so
+        # REPRO_VECTOR=0 (which keeps the per-branch loop) is a pure
+        # parity surface for the differential fuzzer.  Local import: the
+        # experiments package initializes through this module.
+        from repro.experiments import columns
+        predictor_train = None
+        if predictor is not None and columns.enabled():
+            predictor_train = getattr(predictor, "update_batch", None)
         indirect_update = engine.indirect.update
         ghr_mask = engine.ghr.mask
         arch_ras = self._arch_ras
@@ -200,8 +210,11 @@ class FrontEndSimulator:
                             train_meta = variant.train_meta
                             if train_meta:
                                 tokens = result.pred_tokens
-                                for k, (path, taken) in enumerate(train_meta):
-                                    predictor_update(tokens[k], k, path, taken)
+                                if predictor_train is not None:
+                                    predictor_train(tokens, train_meta)
+                                else:
+                                    for k, (path, taken) in enumerate(train_meta):
+                                        predictor_update(tokens[k], k, path, taken)
                             var_counts[variant] = var_counts.get(variant, 0) + 1
                             useful_fetches += 1
                             i = i_end
@@ -235,8 +248,11 @@ class FrontEndSimulator:
                         train_meta = variant.train_meta
                         if train_meta:
                             tokens = result.pred_tokens
-                            for k, (path, taken) in enumerate(train_meta):
-                                predictor_update(tokens[k], k, path, taken)
+                            if predictor_train is not None:
+                                predictor_train(tokens, train_meta)
+                            else:
+                                for k, (path, taken) in enumerate(train_meta):
+                                    predictor_update(tokens[k], k, path, taken)
                         var_counts[variant] = var_counts.get(variant, 0) + 1
                         useful_fetches += 1
                         i = i_end
@@ -271,8 +287,12 @@ class FrontEndSimulator:
                             if prefix.ras_pushes:
                                 arch_ras.extend(prefix.ras_pushes)
                             tokens = result.pred_tokens
-                            for k, (path, taken) in enumerate(prefix.train_meta):
-                                predictor_update(tokens[k], k, path, taken)
+                            if predictor_train is not None:
+                                predictor_train(tokens, prefix.train_meta)
+                            else:
+                                for k, (path, taken) in enumerate(
+                                        prefix.train_meta):
+                                    predictor_update(tokens[k], k, path, taken)
                             mis_key = (prefix, result.predictions_used)
                             mis_counts[mis_key] = mis_counts.get(mis_key, 0) + 1
                             useful_fetches += 1
@@ -329,9 +349,14 @@ class FrontEndSimulator:
                                 # carries no prediction records).
                                 tokens = result.pred_tokens
                                 train_meta = vstar.train_meta
-                                for k in range(variant.n_dyn):
-                                    path, taken = train_meta[k]
-                                    predictor_update(tokens[k], k, path, taken)
+                                if predictor_train is not None:
+                                    predictor_train(
+                                        tokens, train_meta[:variant.n_dyn])
+                                else:
+                                    for k in range(variant.n_dyn):
+                                        path, taken = train_meta[k]
+                                        predictor_update(
+                                            tokens[k], k, path, taken)
                                 mis_key = (vstar, result.predictions_used)
                                 mis_counts[mis_key] = (
                                     mis_counts.get(mis_key, 0) + 1)

@@ -27,7 +27,10 @@ import enum
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
+try:  # only annotations and the caller-provided rng touch numpy here
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    np = None
 
 
 class BranchKind(enum.Enum):

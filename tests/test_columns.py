@@ -1,0 +1,321 @@
+"""Columnar (REPRO_VECTOR) paths vs their scalar references.
+
+Every vectorized consumer added with :mod:`repro.experiments.columns`
+keeps the original per-record walk as the ``REPRO_VECTOR=0`` fallback;
+these tests pin the two modes byte-identical — values *and* dict
+iteration order — and pin the zero-copy contract of the numpy-backed
+trace-file load path.
+
+The module imports without numpy: vector-specific tests importorskip
+it, while the fallback tests monkeypatch ``columns.np`` to ``None`` and
+therefore also run on the no-numpy CI leg (which installs pytest only).
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.experiments import columns, tracefile
+from repro.frontend.simulator import FrontEndSimulator, compute_oracle
+from repro.trace.bias_table import BranchBiasTable
+
+
+# ------------------------------------------------------------ mode gating
+
+def test_enabled_requires_request_and_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTOR", "0")
+    assert not columns.enabled()
+    monkeypatch.delenv("REPRO_VECTOR", raising=False)
+    assert columns.enabled() == columns.available()
+
+
+def test_missing_numpy_warns_once(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTOR", "1")
+    monkeypatch.setattr(columns, "np", None)
+    with pytest.warns(RuntimeWarning, match=r"\[vector\] extra"):
+        assert not columns.enabled()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert not columns.enabled()
+    assert not caught  # one-shot: the second call is silent
+
+
+def test_scalar_fallbacks_run_without_numpy(monkeypatch, branchy_program):
+    """Every dispatching consumer works with columns.np knocked out."""
+    from repro.analysis.branches import profile_branches
+    from repro.trace.static_promotion import profile_biased_branches
+    from repro.workloads.stats import characterize
+
+    monkeypatch.setattr(columns, "np", None)
+    stats = characterize(branchy_program, 1_000)
+    assert stats.dynamic_instructions > 0
+    population = profile_branches(branchy_program, 1_000)
+    assert population.dynamic_branches > 0
+    profile_biased_branches(branchy_program, 1_000, min_executions=4)
+
+
+# --------------------------------------------------- zero-copy trace load
+
+def test_lazy_load_is_zero_copy_and_read_only(monkeypatch):
+    np = pytest.importorskip("numpy")
+    if not tracefile.enabled():
+        pytest.skip("trace files disabled")
+    from repro.experiments import runner
+
+    monkeypatch.setenv("REPRO_VECTOR", "1")
+
+    program = runner.get_program("compress")
+    n = 2_000
+    rows = compute_oracle(program, n)
+    assert tracefile.store_oracle("compress", n, rows) is not None
+    loaded = tracefile.load_oracle("compress", n, program)
+    assert type(loaded) is tracefile.LazyOracleTrace
+    # Columns are numpy views straight over the mapped file...
+    assert isinstance(loaded.addrs, np.ndarray)
+    assert loaded.addrs.base is not None  # a view, not an owning copy
+    # ...mapped ACCESS_READ, so the file cannot be mutated through them.
+    for column in (loaded.addrs, loaded.dirs, loaded.next_pcs):
+        assert not column.flags.writeable
+        with pytest.raises(ValueError):
+            column[0] = 0
+    # len()/bool() answer without materializing rows.
+    assert len(loaded) == len(rows)
+    assert type(loaded) is tracefile.LazyOracleTrace
+    # Columns agree with the row tuples.
+    assert loaded.addrs.tolist() == [inst.addr for inst, _, _ in rows]
+    assert loaded.next_pcs.tolist() == [next_pc for _, _, next_pc in rows]
+    # First row access materializes once and flips to the eager class.
+    assert loaded[0] == rows[0]
+    assert type(loaded) is tracefile.OracleTrace
+    assert list(loaded) == rows
+    # No numpy scalars may leak into rows (consumers hash/serialize them).
+    for (inst_a, taken_a, next_a), (inst_b, taken_b, next_b) in zip(
+            loaded, rows):
+        assert inst_a is inst_b
+        assert taken_a == taken_b and type(taken_a) is type(taken_b)
+        assert next_a == next_b and type(next_a) is type(next_b)
+
+
+def test_scalar_mode_load_stays_eager(monkeypatch):
+    pytest.importorskip("numpy")  # the workload generator needs it
+    if not tracefile.enabled():
+        pytest.skip("trace files disabled")
+    from repro.experiments import runner
+
+    monkeypatch.setenv("REPRO_VECTOR", "0")
+    program = runner.get_program("li")
+    n = 1_000
+    rows = compute_oracle(program, n)
+    assert tracefile.store_oracle("li", n, rows) is not None
+    loaded = tracefile.load_oracle("li", n, program)
+    assert type(loaded) is tracefile.OracleTrace
+    assert list(loaded) == rows
+
+
+def test_as_columns_memoizes_plain_lists(loop_program):
+    rows = list(compute_oracle(loop_program, 500))
+    assert type(rows) is list
+    first = tracefile.as_columns(rows)
+    assert tracefile.as_columns(rows) is first  # satellite: cached build
+    tracefile.clear_column_memo()
+    rebuilt = tracefile.as_columns(rows)
+    assert rebuilt is not first
+    assert bytes(rebuilt.dirs) == bytes(first.dirs)
+    # An OracleTrace passes through untouched.
+    assert tracefile.as_columns(first) is first
+
+
+# ------------------------------------------------- bulk update parity
+
+def _random_stream(rng, sites, length, bias):
+    pcs, takens = [], []
+    directions = {}
+    for _ in range(length):
+        pc = rng.randrange(sites) * 4
+        preferred = directions.setdefault(pc, rng.random() < 0.5)
+        pcs.append(pc)
+        takens.append(preferred if rng.random() < bias else not preferred)
+    return pcs, takens
+
+
+@pytest.mark.parametrize("entries,threshold,bias", [
+    (64, 4, 0.97), (64, 1, 0.6), (1024, 16, 0.9), (8192, 64, 0.99),
+])
+def test_retire_bulk_matches_update_fast(entries, threshold, bias):
+    rng = random.Random(entries * threshold)
+    pcs, takens = _random_stream(rng, sites=entries // 2 + 3,
+                                 length=4_000, bias=bias)
+    sequential = BranchBiasTable(entries=entries, threshold=threshold)
+    flags_seq = bytes(sequential.update_fast(pc, taken)
+                      for pc, taken in zip(pcs, takens))
+    bulk = BranchBiasTable(entries=entries, threshold=threshold)
+    flags_bulk = bulk.retire_bulk(pcs, takens)
+    assert flags_bulk == flags_seq
+    assert list(bulk._tags) == list(sequential._tags)
+    assert list(bulk._counts) == list(sequential._counts)
+    assert list(bulk._dirs) == list(sequential._dirs)
+    assert list(bulk._promoted) == list(sequential._promoted)
+    assert list(bulk._promoted_dirs) == list(sequential._promoted_dirs)
+    assert bulk.promotions == sequential.promotions
+    assert bulk.demotions == sequential.demotions
+
+
+def test_saturating_counters_update_bulk_parity():
+    from repro.branch.counters import SaturatingCounters
+
+    rng = random.Random(7)
+    indices = [rng.randrange(64) for _ in range(3_000)]
+    takens = [rng.random() < 0.7 for _ in range(3_000)]
+    sequential = SaturatingCounters(64, bits=2)
+    for index, taken in zip(indices, takens):
+        sequential.update(index, taken)
+    bulk = SaturatingCounters(64, bits=2)
+    bulk.update_bulk(indices, takens)
+    assert bytes(bulk._table) == bytes(sequential._table)
+
+
+def test_pas_update_bulk_parity():
+    from repro.branch.pas import PAsPredictor
+
+    rng = random.Random(11)
+    pcs = [rng.randrange(300) * 4 for _ in range(3_000)]
+    indices = [rng.randrange(1 << 10) for _ in range(3_000)]
+    takens = [rng.random() < 0.5 for _ in range(3_000)]
+    sequential = PAsPredictor(history_bits=10, bht_entries=128)
+    for pc, index, taken in zip(pcs, indices, takens):
+        sequential.update(pc, index, taken)
+    bulk = PAsPredictor(history_bits=10, bht_entries=128)
+    bulk.update_bulk(pcs, indices, takens)
+    assert bytes(bulk.counters._table) == bytes(sequential.counters._table)
+    assert bulk._bht == sequential._bht
+
+
+@pytest.mark.parametrize("which", ["tree", "split"])
+def test_multiple_update_batch_parity(which):
+    from repro.branch.multiple import (MultipleBranchPredictor,
+                                       SplitMultiplePredictor)
+
+    def build():
+        if which == "tree":
+            return MultipleBranchPredictor(rows_bits=8)
+        return SplitMultiplePredictor(table_bits=(8, 7, 6), history_bits=7)
+
+    def state(predictor):
+        if which == "tree":
+            return bytes(predictor._table)
+        return tuple(bytes(t.counters._table) for t in predictor.tables)
+
+    rng = random.Random(13)
+    sequential, batched = build(), build()
+    for _ in range(2_000):
+        count = rng.randrange(1, 4)
+        path = tuple(rng.random() < 0.5 for _ in range(2))
+        metas = [(path[:k], rng.random() < 0.6) for k in range(count)]
+        tokens = tuple(rng.randrange(1 << 6) for _ in range(3))
+        for k, (p, taken) in enumerate(metas):
+            sequential.update(tokens[k], k, p, taken)
+        batched.update_batch(tokens, metas)
+        assert state(batched) == state(sequential)
+
+
+# ------------------------------------------- whole-pipeline mode parity
+
+def _ordered(value):
+    """Structure that is sensitive to dict iteration order."""
+    if isinstance(value, dict):
+        return [(key, _ordered(item)) for key, item in value.items()]
+    if isinstance(value, (list, tuple)):
+        return [_ordered(item) for item in value]
+    return value
+
+
+def _both_modes(monkeypatch, fn):
+    monkeypatch.setenv("REPRO_VECTOR", "1")
+    vector = fn()
+    monkeypatch.setenv("REPRO_VECTOR", "0")
+    scalar = fn()
+    monkeypatch.delenv("REPRO_VECTOR", raising=False)
+    return vector, scalar
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 25))
+def test_stats_and_profiles_mode_parity(monkeypatch, seed):
+    """Property check over a slice of the fuzzer's fixed seed range.
+
+    (The full 200-seed sweep is the differential fuzzer's ``--mode
+    vector`` CI job; this keeps a representative slice in tier-1.)
+    """
+    pytest.importorskip("numpy")
+    import dataclasses
+
+    import numpy as np
+
+    from repro.analysis.branches import profile_branches
+    from repro.trace.static_promotion import profile_biased_branches
+    from repro.workloads.generator import generate_program
+    from repro.workloads.stats import characterize
+
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                           / "benchmarks"))
+    try:
+        from fuzz_frontend import random_profile
+    finally:
+        sys.path.pop(0)
+
+    program = generate_program(
+        random_profile(np.random.default_rng(seed)), seed=seed)
+
+    def stats_case():
+        stats = characterize(program, 1_500)
+        data = dataclasses.asdict(stats)
+        data["block_size_histogram"] = dict(stats.block_size_histogram)
+        return data
+
+    def profile_case():
+        return {addr: dataclasses.asdict(site) for addr, site in
+                profile_branches(program, 1_500).sites.items()}
+
+    def promotion_case():
+        return {addr: dataclasses.asdict(p) for addr, p in
+                profile_biased_branches(program, 1_500,
+                                        min_executions=8).items()}
+
+    for case in (stats_case, profile_case, promotion_case):
+        vector, scalar = _both_modes(monkeypatch, case)
+        assert _ordered(vector) == _ordered(scalar)
+
+
+def test_simulator_batched_training_parity(monkeypatch, branchy_program):
+    """Batched per-fetch predictor training retires identical state."""
+    pytest.importorskip("numpy")
+    import dataclasses
+
+    from repro.config import PROMOTION_PACKING
+
+    oracle = compute_oracle(branchy_program, 4_000)
+
+    def run():
+        result = FrontEndSimulator(branchy_program, PROMOTION_PACKING,
+                                   oracle=oracle).run()
+        return dataclasses.asdict(result.stats)
+
+    vector, scalar = _both_modes(monkeypatch, run)
+    assert vector == scalar
+
+
+def test_oracle_census_matches_row_walk(switch_program):
+    pytest.importorskip("numpy")
+    rows = compute_oracle(switch_program, 2_000)
+    trace = tracefile.as_columns(rows)
+    census = columns.oracle_census(trace.addrs, trace.dirs, switch_program)
+    cond = sum(1 for _, taken, _ in rows if taken is not None)
+    assert census["dynamic_instructions"] == len(rows)
+    assert census["cond_branches"] == cond
+    assert census["taken_branches"] == sum(
+        1 for _, taken, _ in rows if taken)
+    assert census["static_touched"] == len(
+        {inst.addr for inst, _, _ in rows})
+    assert sum(census["class_counts"]) == len(rows)
