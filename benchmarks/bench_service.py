@@ -1,0 +1,186 @@
+"""Experiment-service robustness numbers (ISSUE 8).
+
+Two questions a shared front door must answer quantitatively:
+
+* **Coalescing effectiveness** — a duplicate storm of 1k identical
+  submissions must collapse to (at most two) computations; everything
+  else attaches to the in-flight future or hits the warmed cache.
+* **Admission latency** — overload must be answered with an explicit,
+  *fast* rejection: a client told "retry later" in a millisecond can
+  back off; a client left hanging cannot.
+
+Numbers land in ``output/BENCH_service.json``; the rendered summary in
+``output/BENCH_service.txt`` feeds EXPERIMENTS.md.
+"""
+
+import json
+import os
+import statistics
+import tempfile
+import threading
+import time
+
+from conftest import OUTPUT_DIR, run_once
+
+from repro import config as cfg
+from repro.experiments import runner, scheduler
+from repro.experiments.scheduler import GridPoint
+from repro.service import ServiceClient, ServiceOverloaded
+from repro.service.server import ServiceThread
+
+N = 20_000 if os.environ.get("REPRO_QUICK") else 100_000
+STORM = 1_000
+REJECT_SAMPLES = 200
+
+
+def _point(config=cfg.BASELINE, benchmark="compress"):
+    return GridPoint("frontend", benchmark, config, N)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _time_storm():
+    """1k duplicate submissions against one gated computation."""
+    computed = []
+    gate = threading.Event()
+    real = scheduler._run_point
+
+    def gated(point, engine=None):
+        computed.append(point)
+        gate.wait(timeout=120)
+        return real(point, engine)
+
+    scheduler._run_point = gated
+    service = ServiceThread(host="127.0.0.1", port=0, jobs=1,
+                            admit_max=64, client_backlog=2 * STORM)
+    try:
+        host, port = service.start()
+        with ServiceClient(host, port, timeout=300) as client:
+            start = time.perf_counter()
+            ids = [client.submit_nowait([_point()]) for _ in range(STORM)]
+            submit_seconds = time.perf_counter() - start
+            gate.set()
+            rows = [client.result(i, raw=True) for i in ids]
+            drain_seconds = time.perf_counter() - start
+            status = client.status()
+        ok = sum(1 for r in rows if r[0]["status"] == "ok")
+        return {
+            "duplicates": STORM,
+            "ok": ok,
+            "computations": len(computed),
+            "created_total": status["coalesce"]["created_total"],
+            "coalesced_total": status["coalesce"]["coalesced_total"],
+            "cache_hits": status["counters"]["cache_hits"],
+            "submit_seconds": submit_seconds,
+            "drain_seconds": drain_seconds,
+        }
+    finally:
+        gate.set()
+        service.stop()
+        scheduler._run_point = real
+
+
+def _time_admission():
+    """RTTs for pings, explicit rejections, and warm cache submits."""
+    gate = threading.Event()
+    real = scheduler._run_point
+
+    def gated(point, engine=None):
+        gate.wait(timeout=120)
+        return real(point, engine)
+
+    scheduler._run_point = gated
+    service = ServiceThread(host="127.0.0.1", port=0, jobs=1, admit_max=1)
+    try:
+        host, port = service.start()
+        with ServiceClient(host, port, timeout=300) as client:
+            pings = []
+            for _ in range(REJECT_SAMPLES):
+                start = time.perf_counter()
+                client.ping()
+                pings.append(time.perf_counter() - start)
+            # Saturate the single admission slot, then time rejections.
+            blocker = client.submit_nowait([_point(cfg.PROMOTION)])
+            while client.status()["in_flight"] < 1:
+                time.sleep(0.01)
+            rejects = []
+            with ServiceClient(host, port, timeout=300) as second:
+                for _ in range(REJECT_SAMPLES):
+                    start = time.perf_counter()
+                    try:
+                        second.submit([_point(cfg.PROMOTION_PACKING)])
+                    except ServiceOverloaded:
+                        rejects.append(time.perf_counter() - start)
+            gate.set()
+            client.result(blocker)
+            # Warm path: the point is cached now; time full submits.
+            warms = []
+            for _ in range(50):
+                start = time.perf_counter()
+                client.submit([_point(cfg.PROMOTION)])
+                warms.append(time.perf_counter() - start)
+        return {
+            "samples": REJECT_SAMPLES,
+            "ping_ms_mean": 1e3 * statistics.fmean(pings),
+            "rejected": len(rejects),
+            "rejected_ms_mean": 1e3 * statistics.fmean(rejects),
+            "rejected_ms_p95": 1e3 * _percentile(rejects, 0.95),
+            "warm_submit_ms_mean": 1e3 * statistics.fmean(warms),
+            "warm_submit_ms_p95": 1e3 * _percentile(warms, 0.95),
+        }
+    finally:
+        gate.set()
+        service.stop()
+        scheduler._run_point = real
+
+
+def _time_service():
+    # Fully isolated cache: coalescing is only observable when the
+    # storm's point is not already on disk.
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            runner.clear_caches()
+            return {"storm": _time_storm(), "admission": _time_admission()}
+        finally:
+            runner.clear_caches()
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+
+
+def bench_service(benchmark, emit):
+    report = run_once(benchmark, _time_service)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_service.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    storm, admission = report["storm"], report["admission"]
+    lines = [
+        "Experiment service robustness",
+        f"  duplicate storm: {storm['duplicates']} submissions -> "
+        f"{storm['computations']} computation(s) "
+        f"({storm['coalesced_total']} coalesced, "
+        f"{storm['cache_hits']} cache hits)",
+        f"    pipelined submit {storm['submit_seconds']:.2f}s, "
+        f"all answered in {storm['drain_seconds']:.2f}s",
+        f"  admission: ping {admission['ping_ms_mean']:.2f}ms mean; "
+        f"explicit rejection {admission['rejected_ms_mean']:.2f}ms mean / "
+        f"{admission['rejected_ms_p95']:.2f}ms p95",
+        f"  warm cached submit {admission['warm_submit_ms_mean']:.2f}ms "
+        f"mean / {admission['warm_submit_ms_p95']:.2f}ms p95",
+    ]
+    emit("BENCH_service", "\n".join(lines))
+
+    # Structural assertions — no machine-dependent latency floors.
+    assert storm["ok"] == storm["duplicates"]  # nothing hangs or drops
+    assert storm["computations"] <= 2  # the acceptance bound
+    assert storm["created_total"] <= 2
+    assert admission["rejected"] == admission["samples"]  # all explicit
+    assert admission["rejected_ms_p95"] < 5_000  # rejection is prompt

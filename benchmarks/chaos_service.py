@@ -1,0 +1,199 @@
+"""Chaos driver for the experiment service: kill it and trust the cache.
+
+The scenario the CI ``service-chaos`` job runs end to end:
+
+1. Start a real ``repro serve`` process with fault injection armed
+   (worker crashes + cache corruption) and pipeline a storm at it —
+   ``--distinct`` unique points plus ``--duplicates`` duplicate
+   submissions spread across them, all on one connection.
+2. SIGTERM the server mid-run.  The drain must answer *every* pipelined
+   submission — completed points ok, stragglers with an explicit
+   retryable error — and the process must exit; nothing may hang.
+3. Restart the service with faults off and resubmit every distinct
+   point with backoff.  The journals and the shared disk cache must
+   cover everything that finished before the kill, so the restarted
+   server recomputes only the remainder.
+4. Recompute the whole grid serially in this process (disk cache off)
+   and require the service's answers to be byte-identical.
+
+Exit status is nonzero on the first violated invariant:
+
+    PYTHONPATH=src python benchmarks/chaos_service.py --duplicates 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import BASELINE
+from repro.experiments import runner
+from repro.experiments.scheduler import GridPoint
+from repro.experiments.serialize import frontend_result_to_dict
+from repro.service import (ServiceClient, ServiceError, ServiceOverloaded,
+                           submit_with_retry)
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def log(message: str) -> None:
+    print(f"[chaos-service] {message}", flush=True)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn_server(port: int, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--jobs", "2"],
+        env=env, cwd=REPO, start_new_session=True)
+
+
+def wait_ready(port: int, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=5) as probe:
+                probe.ping()
+            return
+        except (OSError, ServiceError):
+            if time.monotonic() >= deadline:
+                raise SystemExit("service never became ready")
+            time.sleep(0.1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distinct", type=int, default=10)
+    parser.add_argument("--duplicates", type=int, default=50)
+    # Corrupt cache entries probabilistically and hang the 8th
+    # computation so the SIGTERM drain always interrupts real work.
+    # (No crash fault here: a worker crash breaks the whole pool, which
+    # aborts the pending ordinals before their first attempt and would
+    # skip the hang; crash recovery is covered by tests/test_faults.py.)
+    parser.add_argument(
+        "--faults", default="corrupt-cache:0.2,hang:p7:600")
+    args = parser.parse_args()
+
+    points = [GridPoint("frontend", "compress", BASELINE, 4_000 + 500 * i)
+              for i in range(args.distinct)]
+    port = free_port()
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-service-") as tmp:
+        env = dict(os.environ)
+        env.update({
+            "PYTHONPATH": str(REPO / "src"),
+            "REPRO_CACHE_DIR": tmp,
+            "REPRO_CLIENT_BACKLOG": "500",  # the storm rides one socket
+            "REPRO_DRAIN_GRACE": "2.0",
+            "REPRO_BACKOFF": "0.05",
+            "REPRO_FAULTS": args.faults,
+        })
+
+        # Phase 1: storm a faulty server, SIGTERM it mid-run.
+        log(f"phase 1: {args.distinct} distinct + {args.duplicates} "
+            f"duplicate submissions under REPRO_FAULTS={args.faults}")
+        server = spawn_server(port, env)
+        try:
+            wait_ready(port)
+            with ServiceClient("127.0.0.1", port, timeout=300) as client:
+                ids = [client.submit_nowait([point]) for point in points]
+                ids += [client.submit_nowait([points[i % args.distinct]])
+                        for i in range(args.duplicates)]
+                deadline = time.monotonic() + 120
+                while client.status()["counters"]["computed_ok"] < 2:
+                    if time.monotonic() >= deadline:
+                        raise SystemExit("no progress before SIGTERM")
+                    time.sleep(0.05)
+                log("SIGTERM mid-run")
+                os.kill(server.pid, signal.SIGTERM)
+                answered = ok = retryable = rejected = 0
+                for request_id in ids:
+                    try:
+                        rows = client.result(request_id, raw=True)
+                    except ServiceOverloaded:
+                        answered += 1  # explicit rejection, not a drop
+                        rejected += 1
+                        continue
+                    answered += 1
+                    for row in rows:
+                        if row["status"] == "ok":
+                            ok += 1
+                        elif row.get("retryable"):
+                            retryable += 1
+                        else:
+                            raise SystemExit(
+                                f"non-retryable drain answer: {row}")
+            server.wait(timeout=120)
+        finally:
+            if server.poll() is None:
+                os.killpg(server.pid, signal.SIGKILL)
+                server.wait(timeout=30)
+        total = args.distinct + args.duplicates
+        if answered != total:
+            raise SystemExit(f"{total - answered} submissions never "
+                             f"answered — the drain dropped clients")
+        log(f"drain answered all {answered} submissions "
+            f"({ok} ok, {retryable} retryable, {rejected} rejected); "
+            f"server exited {server.returncode}")
+        if ok == 0:
+            raise SystemExit("nothing completed before the kill")
+
+        # Phase 2: restart clean; journals + cache cover finished work.
+        env.pop("REPRO_FAULTS")
+        log("phase 2: restart without faults, resubmit the grid")
+        server = spawn_server(port, env)
+        try:
+            wait_ready(port)
+            with ServiceClient("127.0.0.1", port, timeout=300) as client:
+                results = submit_with_retry(client, points, base=0.1)
+                counters = client.status()["counters"]
+        finally:
+            try:
+                os.killpg(server.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+            server.wait(timeout=120)
+        recomputed = counters["computed_ok"]
+        served = counters["cache_hits"] + counters["journal_hits"]
+        log(f"restart: {recomputed} recomputed, {served} from "
+            f"journal/cache of {args.distinct} distinct points")
+        if recomputed >= args.distinct:
+            raise SystemExit("restart recomputed everything — the "
+                             "journals/cache preserved nothing")
+
+    # Phase 3: byte-identical to a clean serial computation.
+    log("phase 3: clean serial recomputation (disk cache off)")
+    os.environ["REPRO_DISK_CACHE"] = "0"
+    runner.clear_caches()
+    for point, got in zip(points, results):
+        clean = runner.frontend_result(point.benchmark, point.config,
+                                       point.n)
+        clean_js = json.dumps(frontend_result_to_dict(clean),
+                              sort_keys=True)
+        got_js = json.dumps(frontend_result_to_dict(got), sort_keys=True)
+        if clean_js != got_js:
+            raise SystemExit(f"divergence at n={point.n}: service answer "
+                             f"differs from the clean serial run")
+    log(f"all {args.distinct} service answers byte-identical to the "
+        f"clean serial run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,12 @@ Commands:
   default, ``--machine`` for the full cycle-level core);
 * ``experiment`` — regenerate one of the paper's tables or figures;
 * ``validate-replay`` — re-run the lockstep comparison a divergence
-  report describes; exits nonzero iff it still reproduces.
+  report describes; exits nonzero iff it still reproduces;
+* ``serve`` — run the shared experiment service (async grid front door
+  with admission control and request coalescing; see
+  :mod:`repro.service`); drains gracefully on SIGTERM;
+* ``submit`` — submit one simulation to a running service and print the
+  headline numbers (retries with backoff when the service sheds load).
 
 ``run --validate [MODE]`` and ``experiment --validate [MODE]`` arm the
 online divergence guard (:mod:`repro.validate`): every simulation also
@@ -280,6 +285,54 @@ def _render_experiment(name: str) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    try:
+        serve(args.host, args.port, jobs=args.jobs,
+              admit_max=args.admit_max)
+    except KeyboardInterrupt:
+        # Abrupt but safe: completed points are journaled and cached.
+        return 130
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.experiments.scheduler import FRONTEND, MACHINE, GridPoint
+    from repro.service import (ServiceClient, ServiceError, ServiceOverloaded,
+                               submit_with_retry)
+
+    config = _build_config(args)
+    if args.machine:
+        config = MachineConfig(frontend=config, core=CoreConfig())
+    point = GridPoint(MACHINE if args.machine else FRONTEND,
+                      args.benchmark, config, n=args.instructions)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            results = submit_with_retry(client, [point],
+                                        deadline=args.deadline)
+    except ServiceOverloaded as exc:
+        print(f"service overloaded, gave up: {exc}", file=sys.stderr)
+        return 3
+    except (ServiceError, OSError) as exc:
+        print(f"cannot reach the experiment service: {exc}", file=sys.stderr)
+        return 2
+    result = results[0]
+    if args.machine:
+        rows = [["IPC", result.ipc], ["cycles", result.cycles],
+                ["retired instructions", result.retired]]
+    else:
+        rows = [["effective fetch rate", result.effective_fetch_rate],
+                ["retired instructions", result.instructions_retired],
+                ["trace cache hits/misses",
+                 f"{result.tc_hits}/{result.tc_misses}"]]
+    print(format_table(["Metric", "Value"],
+                       [["benchmark", args.benchmark],
+                        ["configuration", config.describe()]] + rows,
+                       title="Service result"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -338,6 +391,44 @@ def build_parser() -> argparse.ArgumentParser:
                           "diverging point is recomputed on the frozen "
                           "reference stack and reported)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the shared experiment service (SIGTERM drains gracefully)")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: REPRO_SERVICE_ADDR "
+                            "or 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port; 0 asks the OS for an ephemeral port")
+    serve.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or the "
+                            "CPU count)")
+    serve.add_argument("--admit-max", type=int, default=None,
+                       help="max in-flight computations before submissions "
+                            "are rejected (default: REPRO_ADMIT_MAX or "
+                            "4x jobs)")
+
+    submit = sub.add_parser(
+        "submit", help="run one simulation through a running service")
+    submit.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    submit.add_argument("--config", choices=sorted(CONFIGS),
+                        default="baseline")
+    submit.add_argument("--instructions", type=int, default=None)
+    submit.add_argument("--machine", action="store_true",
+                        help="run the full cycle-level machine")
+    submit.add_argument("--threshold", type=int, default=None,
+                        help="enable promotion at this bias threshold")
+    submit.add_argument("--packing-policy",
+                        choices=[p.value for p in PackingPolicy],
+                        default=None)
+    submit.add_argument("--static-promotion", action="store_true")
+    submit.add_argument("--path-assoc", action="store_true")
+    submit.add_argument("--no-inactive-issue", action="store_true")
+    submit.add_argument("--host", default=None,
+                        help="service address (default: REPRO_SERVICE_ADDR)")
+    submit.add_argument("--port", type=int, default=None)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="wall-clock budget in seconds for the request")
+
     replay = sub.add_parser(
         "validate-replay",
         help="re-run the lockstep comparison a divergence report "
@@ -357,6 +448,10 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "validate-replay":
         return _cmd_validate_replay(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return _cmd_experiment(args)
 
 

@@ -190,6 +190,25 @@ class Journal:
             pass
 
 
+def purge() -> int:
+    """Delete every checkpoint journal; returns the number removed.
+
+    Used by ``runner.clear_caches(disk=True)`` so a full cache wipe does
+    not leave behind journals that reference now-purged results.
+    """
+    directory = checkpoint_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob(f"*{_SUFFIX}"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 def stats() -> Dict[str, int]:
     """Journal count and total bytes currently on disk (for reporting)."""
     directory = checkpoint_dir()

@@ -25,7 +25,7 @@ import it without cycles.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.experiments import warnonce
 
@@ -81,3 +81,27 @@ def get_float(name: str, default: Optional[float]) -> Optional[float]:
     except ValueError:
         _warn_invalid(name, raw, default)
         return default
+
+
+def get_hostport(name: str, default: Tuple[str, int]) -> Tuple[str, int]:
+    """``host:port`` knob (``REPRO_SERVICE_ADDR``): unparseable warns once.
+
+    Accepts ``host:port``, a bare ``:port`` (binds the default host) and
+    a bare ``port``.  Port 0 is legal — it asks the OS for an ephemeral
+    port, which the service reports after binding (test harnesses rely
+    on this).
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    host, _, port_text = raw.rpartition(":")
+    if not host:
+        host = default[0]
+    try:
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError(port)
+    except ValueError:
+        _warn_invalid(name, raw, default)
+        return default
+    return host, port

@@ -87,9 +87,15 @@ def quick_scale() -> float:
 def clear_caches(disk: bool = False) -> None:
     """Drop every memoized program, oracle and result.
 
-    With ``disk=True`` also purge the persistent on-disk result cache
-    and the stored oracle trace files — used by benchmarks that need
-    genuinely cold runs.
+    With ``disk=True`` also purge the persistent on-disk state — the
+    result cache (entries, size index, pins, quarantine, lock files),
+    the stored oracle trace files, the checkpoint journals, and the
+    cross-process warn-once marker files — then prune the now-empty
+    bookkeeping subdirectories (``warned/``, ``checkpoints/``,
+    ``divergences/``, ``traces/`` and friends).  It used to leave the
+    markers and empty directories behind, so a "cleared" cache dir was
+    never actually empty.  Used by benchmarks that need genuinely cold
+    runs and by service operators resetting a shared cache.
 
     Also drops the compiled state living *inside* engines built so far
     (compiled fetch variants, fill-unit state machines, segment memos —
@@ -98,6 +104,10 @@ def clear_caches(disk: bool = False) -> None:
     programs (the differential fuzzer, notebook sessions) can never be
     served plans compiled against dropped programs.
     """
+    import os
+
+    from repro.experiments import checkpoint
+
     _programs.clear()
     _oracles.clear()
     _frontend.clear()
@@ -109,6 +119,17 @@ def clear_caches(disk: bool = False) -> None:
     if disk:
         diskcache.purge()
         tracefile.purge()
+        checkpoint.purge()
+        root = diskcache.cache_dir()
+        # warnonce.reset() above already removed the marker files; what
+        # remains is pruning empty bookkeeping directories (missing or
+        # non-empty ones are left alone — rmdir refuses non-empty dirs).
+        for name in ("warned", "checkpoints", "divergences", "traces",
+                     "locks", "pins", "quarantine"):
+            try:
+                os.rmdir(root / name)
+            except OSError:
+                pass
 
 
 def get_program(benchmark: str) -> Program:

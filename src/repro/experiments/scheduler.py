@@ -58,6 +58,7 @@ so a parallel run leaves the same warm cache behind as a serial one.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
@@ -218,6 +219,36 @@ def _point_key(point: GridPoint) -> str:
                                     warmup=point.warmup)
 
 
+#: Public aliases for the experiment service, which reuses the
+#: scheduler's cost model and key scheme for admission control and
+#: machine-wide request coalescing.
+estimated_cost = _estimated_cost
+point_key = _point_key
+
+
+def deadline_point_timeout(points: Sequence[GridPoint],
+                           deadline: Optional[float]) -> Optional[float]:
+    """Base per-point timeout so a grid's budgets sum to ``deadline``.
+
+    The supervisor scales its base timeout by each point's estimated
+    cost relative to :data:`faults.COST_REFERENCE`; normalizing the base
+    by the grid's total scale factor hands every point a proportional
+    share of the caller's wall-clock budget (exact when points run
+    serially, conservative when they run in parallel — a parallel grid
+    finishes *earlier* than the budget assumes, never later because of
+    this bound).  Returns None for no/non-positive deadline or an empty
+    grid.
+    """
+    if deadline is None or deadline <= 0 or not points:
+        return None
+    total_scale = sum(
+        max(1.0, _estimated_cost(point) / faults.COST_REFERENCE)
+        for point in points)
+    if total_scale <= 0:
+        return None
+    return deadline / total_scale
+
+
 def _result_to_payload(point: GridPoint, result) -> Dict[str, Any]:
     """Serialize one result for the checkpoint journal."""
     if point.kind == FRONTEND:
@@ -259,7 +290,17 @@ def _prewrite_traces(points: Sequence[GridPoint]) -> None:
 def _worker_init(emitted_keys: Tuple[str, ...]) -> None:
     """Pool initializer: inherit the parent's already-warned state so a
     grid emits each environment diagnostic once, not once per worker,
-    and arm the fault-injection harness (faults fire in workers only)."""
+    and arm the fault-injection harness (faults fire in workers only).
+
+    Forked workers also inherit the parent's signal dispositions; when
+    the parent is the experiment service, SIGTERM is wired to its drain
+    handler — useless in a worker, and it would shrug off the
+    terminate() that :func:`_kill_pool` relies on.  Restore the default
+    so workers stay killable."""
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (OSError, ValueError):
+        pass  # not the worker main thread / platform without SIGTERM
     warnonce.seed(emitted_keys)
     faults.mark_worker()
 
@@ -318,7 +359,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     try:
         processes = dict(getattr(pool, "_processes", None) or {})
         for process in processes.values():
-            process.terminate()
+            process.kill()  # SIGKILL: a hung worker may shrug off SIGTERM
     except Exception:
         pass
     pool.shutdown(wait=False, cancel_futures=True)
@@ -539,7 +580,16 @@ class _Supervisor:
             initargs=(warnonce.snapshot(),))
 
     def _run_pooled(self, pending: Deque[GridPoint]) -> None:
-        """The supervision loop: window, wait, classify, retry, respawn."""
+        """The supervision loop: window, wait, classify, retry, respawn.
+
+        ``KeyboardInterrupt`` (and any other control-flow exception)
+        forcibly terminates the worker processes before propagating:
+        workers may be mid-simulation — or deliberately hung by the
+        chaos harness — and a graceful shutdown would block interpreter
+        exit behind them, turning Ctrl-C into a hang.  The checkpoint
+        journal has already flushed every completed point line by line,
+        so the interrupted grid resumes from the journal.
+        """
         pool: Optional[ProcessPoolExecutor] = None
         inflight: Dict[Any, GridPoint] = {}
         deadlines: Dict[Any, float] = {}
@@ -644,6 +694,11 @@ class _Supervisor:
                     self.pool_breaks += 1
                     time.sleep(faults.backoff_delay(self.policy.backoff,
                                                     self.pool_breaks))
+        except BaseException:
+            if pool is not None:
+                _kill_pool(pool)  # terminate workers; do not wait on them
+                pool = None
+            raise
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -670,6 +725,7 @@ def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
              resume: Optional[bool] = None,
              max_retries: Optional[int] = None,
              timeout: Optional[float] = None,
+             deadline: Optional[float] = None,
              keep_going: Optional[bool] = None) -> Dict[GridPoint, Any]:
     """Run every grid point; returns ``{resolved point: result}``.
 
@@ -685,6 +741,13 @@ def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
     ``keep_going`` finishes the grid before raising
     :class:`~repro.experiments.faults.GridFailures` with the full
     failure table (``REPRO_KEEP_GOING``).
+
+    ``deadline`` is a wall-clock budget in seconds for the whole request
+    (the experiment service forwards its clients' deadlines here): when
+    no explicit/environment ``timeout`` is set, it is divided into
+    cost-proportional per-point budgets through
+    :func:`deadline_point_timeout`, so a bounded request can never be
+    wedged by one hung point.
     """
     resolved: List[GridPoint] = []
     seen = set()
@@ -733,9 +796,12 @@ def run_grid(points: Sequence[GridPoint], jobs: Optional[int] = None, *,
         journal.complete()
         return results
 
+    resolved_timeout = faults.resolve_timeout(timeout)
+    if resolved_timeout is None and deadline is not None:
+        resolved_timeout = deadline_point_timeout(misses, deadline)
     policy = _Policy(jobs=resolve_jobs(jobs),
                      max_retries=faults.resolve_retries(max_retries),
-                     timeout=faults.resolve_timeout(timeout),
+                     timeout=resolved_timeout,
                      backoff=faults.resolve_backoff(),
                      keep_going=faults.resolve_keep_going(keep_going))
     units: List[Any] = list(misses)

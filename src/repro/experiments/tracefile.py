@@ -31,8 +31,10 @@ scans, benchmarks) read arrays instead of a million tuples, and
 C-level copies instead of a per-record packing loop.
 
 Robustness mirrors :mod:`repro.experiments.diskcache`: writes are atomic
-(temp file + ``os.replace``), and unreadable, truncated, wrong-version or
-checksum-failing files are deleted and treated as misses.  Files live
+(temp file + ``os.replace``) and serialized per key through an advisory
+file lock with dead-owner takeover, and unreadable, truncated,
+wrong-version or checksum-failing files are quarantined (moved aside,
+never destroyed) and treated as misses.  Files live
 under ``<cache_dir>/traces`` (``$REPRO_CACHE_DIR`` aware) and their names
 fold in the benchmark profile and the simulator source fingerprint, so
 stale traces self-invalidate exactly like cached results.
@@ -282,9 +284,33 @@ def store_oracle(benchmark: str, n: int, oracle: List[tuple]) -> Optional[Path]:
 
     Atomic and failure-silent like the result cache: trace files are an
     accelerator, so a full disk must not break an experiment run.
+
+    Concurrent writers of the same key are serialized through an
+    advisory :class:`~repro.experiments.diskcache.FileLock` (pid-stamped,
+    with dead-owner takeover, so a SIGKILLed writer never wedges the
+    next one).  The loser of the race finds the file already present
+    when it gets the lock and skips the redundant multi-megabyte write;
+    a lock timeout degrades to the plain lock-free atomic write, which
+    is always safe.
     """
     if not enabled():
         return None
+    path = trace_path(benchmark, n)
+    try:
+        lock = diskcache.FileLock(f"trace-{path.stem[:32]}", timeout=30.0)
+        with lock:
+            if path.exists():
+                return path  # a concurrent writer won; its file is ours
+            return _store_oracle_unlocked(benchmark, n, oracle)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except (diskcache.LockTimeout, OSError):
+        return _store_oracle_unlocked(benchmark, n, oracle)
+
+
+def _store_oracle_unlocked(benchmark: str, n: int,
+                           oracle: List[tuple]) -> Optional[Path]:
+    """The atomic temp-file + replace write itself (lock-free core)."""
     columns = as_columns(oracle)
     count = len(columns)
     addrs = columns.addrs
@@ -341,7 +367,7 @@ def load_oracle(benchmark: str, n: int,
     ``(instruction, taken, next_pc)`` tuples are rebuilt eagerly by
     indexing the shared code image (``instructions[a].addr == a``).
     Any structural problem — bad magic, version or checksum mismatch,
-    truncation, an address off the code image — deletes the file and
+    truncation, an address off the code image — quarantines the file and
     returns None so a corrupt trace can never shadow a future write.
     """
     if not enabled():
@@ -420,12 +446,11 @@ def load_oracle(benchmark: str, n: int,
             f"discarding corrupt oracle trace for {benchmark!r} "
             f"({problem}); the stream will be recomputed",
             shared=True)
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            pass  # a concurrent worker saw the same corruption and won
-        except OSError:
-            pass
+        # Quarantine, don't delete: the move preserves the evidence, and
+        # if a concurrent worker already healed the key (rewrote a good
+        # file) or quarantined it first, losing that race is harmless —
+        # an unlink here could have destroyed the fresh rewrite.
+        diskcache.quarantine(path)
         return None
 
 

@@ -1,0 +1,46 @@
+"""Resilient experiment service: an async grid front door.
+
+This package turns the in-process experiment engine
+(:mod:`repro.experiments.scheduler` and friends) into a long-lived
+network service that many clients — sweep scripts, CI shards, notebook
+sessions — can share without stepping on each other:
+
+* :mod:`repro.service.protocol` — the line-delimited JSON wire format
+  and the (de)serialization of grid points and results;
+* :mod:`repro.service.breaker` — the circuit breaker that degrades the
+  service from pooled to inline execution after repeated pool breaks;
+* :mod:`repro.service.coalesce` — machine-wide request coalescing:
+  concurrent submissions of the same content-hashed point attach to one
+  in-flight computation;
+* :mod:`repro.service.server` — the asyncio server: admission control,
+  per-point supervision, checkpoint journaling, SIGTERM drain;
+* :mod:`repro.service.client` — the thin blocking client with
+  overload-aware exponential backoff.
+
+Everything is standard library only — ``asyncio.start_server`` over
+TCP, JSON on the wire — so the service runs wherever the simulator
+does.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.client import (ServiceClient, ServiceError,
+                                  ServiceOverloaded, ServicePointError,
+                                  submit_with_retry)
+from repro.service.protocol import (ProtocolError, point_from_dict,
+                                    point_to_dict)
+from repro.service.server import ExperimentService, ServiceThread, serve
+
+__all__ = [
+    "CircuitBreaker",
+    "ExperimentService",
+    "ServiceThread",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServicePointError",
+    "point_from_dict",
+    "point_to_dict",
+    "serve",
+    "submit_with_retry",
+]

@@ -1,0 +1,110 @@
+"""Circuit breaker: degrade from pooled to inline execution gracefully.
+
+The scheduler already has the policy this breaker encodes — after
+``_MAX_POOL_BREAKS`` broken pools a grid finishes serially in the
+parent, because injected faults (and most real crash causes: OOM kills,
+a bad native extension) only live in worker processes, which makes
+in-parent execution the safe floor.  A long-lived service needs the
+*stateful* version of that policy: pool health must persist across
+submissions, and a burst of crashes must not condemn the service to
+serial execution forever.
+
+Standard three-state machine:
+
+* ``CLOSED`` — healthy; pooled execution allowed.  Each pool break
+  increments a strike counter; reaching the threshold trips to OPEN.
+  Any pooled success resets the counter (strikes measure *consecutive*
+  breaks, matching the scheduler's intent of "this pool keeps dying").
+* ``OPEN`` — pooled execution refused; every point runs inline in the
+  server process.  After ``cooldown`` seconds the next ask is allowed
+  through as a probe and the state moves to HALF_OPEN.
+* ``HALF_OPEN`` — exactly one probe in flight.  Success closes the
+  breaker (full reset); another break re-opens it and restarts the
+  cooldown clock.
+
+The breaker is driven from one asyncio event loop, so plain attributes
+are race-free; time comes from an injectable monotonic clock so tests
+can step it deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+#: States.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Default consecutive-break threshold; mirrors the scheduler's
+#: ``_MAX_POOL_BREAKS`` so one grid's worth of crashes trips it.
+DEFAULT_THRESHOLD = 3
+
+#: Default seconds the breaker stays open before probing the pool again.
+DEFAULT_COOLDOWN = 30.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes."""
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD,
+                 cooldown: float = DEFAULT_COOLDOWN,
+                 clock: Callable[[], float] = time.monotonic):
+        self.threshold = max(1, threshold)
+        self.cooldown = max(0.0, cooldown)
+        self._clock = clock
+        self._state = CLOSED
+        self._strikes = 0
+        self._opened_at = 0.0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, with the OPEN -> HALF_OPEN timer folded in."""
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return self._state
+
+    def allow_pool(self) -> bool:
+        """May the next point use the process pool?
+
+        In OPEN the answer is no until the cooldown elapses; the first
+        ask after that is the half-open probe and answers yes (further
+        asks also answer yes — the caller runs one point at a time per
+        drive task, and a few extra probes are harmless because every
+        outcome is reported back).
+        """
+        state = self.state
+        if state == HALF_OPEN and self._state == OPEN:
+            self._state = HALF_OPEN
+        return state != OPEN
+
+    def record_success(self) -> None:
+        """A pooled point completed: reset to CLOSED."""
+        self._state = CLOSED
+        self._strikes = 0
+
+    def record_break(self) -> None:
+        """A pool broke (crashed worker, killed hang): count a strike."""
+        if self._state == HALF_OPEN:
+            self._state = OPEN  # failed probe: restart the cooldown
+            self._opened_at = self._clock()
+            self._trips += 1
+            return
+        self._strikes += 1
+        if self._strikes >= self.threshold and self._state == CLOSED:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._trips += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Introspection snapshot for the service ``status`` reply."""
+        return {
+            "state": self.state,
+            "strikes": self._strikes,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "trips": self._trips,
+        }

@@ -1,0 +1,233 @@
+"""Thin blocking client for the experiment service.
+
+A deliberately boring counterpart to the async server: one TCP socket,
+line-delimited JSON, synchronous calls — so sweep scripts, notebooks
+and CI shards can use the service without touching asyncio.  The one
+piece of sophistication is *pipelining*: requests carry client-chosen
+ids and the server answers in completion order, so
+:meth:`ServiceClient.submit_nowait` can put hundreds of submissions on
+the wire before :meth:`ServiceClient.result` starts collecting — the
+duplicate-storm benchmark and tests drive coalescing this way.
+
+Overload is a first-class answer, not an error to crash on:
+``rejected`` responses raise :class:`ServiceOverloaded` carrying the
+server's ``retry_after`` hint, and :func:`submit_with_retry` turns that
+into capped exponential backoff with full jitter (decorrelated clients
+— a storm of rejected clients must not re-arrive in lockstep).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import env
+from repro.experiments.scheduler import GridPoint
+from repro.service import protocol
+from repro.service.server import DEFAULT_ADDR
+
+
+class ServiceError(RuntimeError):
+    """Protocol-level failure talking to the experiment service."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service rejected a submission (admission control).
+
+    ``reason`` is ``overloaded`` / ``draining`` / ``client-backlog``;
+    ``retry_after`` is the server's backoff hint in seconds.
+    """
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(f"submission rejected: {reason} "
+                         f"(retry after {retry_after:.2f}s)")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ServicePointError(ServiceError):
+    """A submitted point failed terminally on the server."""
+
+    def __init__(self, key: str, error: str, retryable: bool,
+                 failure: Optional[str] = None):
+        super().__init__(f"point {key[:12]}… failed: {error}")
+        self.key = key
+        self.error = error
+        self.retryable = retryable
+        self.failure = failure
+
+
+class ServiceClient:
+    """Blocking line-JSON client; safe for single-threaded use.
+
+    Usable as a context manager.  ``host``/``port`` default to
+    ``REPRO_SERVICE_ADDR``.
+    """
+
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None, *,
+                 timeout: Optional[float] = 300.0):
+        default_host, default_port = env.get_hostport(
+            "REPRO_SERVICE_ADDR", DEFAULT_ADDR)
+        self.host = default_host if host is None else host
+        self.port = default_port if port is None else port
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+        self._pending: Dict[Any, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------ plumbing
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        self._pending.clear()
+        for closer in (file, sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _send(self, message: Dict[str, Any]) -> Any:
+        self.connect()
+        request_id = next(self._ids)
+        message = {"id": request_id, **message}
+        assert self._sock is not None
+        try:
+            self._sock.sendall(protocol.encode(message))
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"send failed: {exc}") from None
+        return request_id
+
+    def _wait(self, request_id: Any) -> Dict[str, Any]:
+        """Read replies (any order) until ``request_id``'s arrives."""
+        reply = self._pending.pop(request_id, None)
+        if reply is not None:
+            return reply
+        assert self._file is not None
+        while True:
+            try:
+                line = self._file.readline(protocol.MAX_LINE + 1)
+            except OSError as exc:
+                self.close()
+                raise ServiceError(f"read failed: {exc}") from None
+            if not line:
+                self.close()
+                raise ServiceError("connection closed by the service")
+            reply = protocol.decode(line)
+            if reply.get("id") == request_id:
+                return reply
+            if reply.get("id") is not None:
+                self._pending[reply["id"]] = reply
+
+    # ------------------------------------------------------------- verbs
+
+    def ping(self) -> Dict[str, Any]:
+        return self._wait(self._send({"op": "ping"}))
+
+    def status(self) -> Dict[str, Any]:
+        return self._wait(self._send({"op": "status"}))
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the service to drain gracefully (what SIGTERM does)."""
+        return self._wait(self._send({"op": "drain"}))
+
+    def submit_nowait(self, points: Sequence[GridPoint],
+                      deadline: Optional[float] = None) -> Any:
+        """Pipeline one submission; returns the id for :meth:`result`."""
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "points": [protocol.point_to_dict(p) for p in points],
+        }
+        if deadline is not None:
+            message["deadline"] = deadline
+        return self._send(message)
+
+    def result(self, request_id: Any, *,
+               raw: bool = False) -> List[Any]:
+        """Collect one pipelined submission's answer.
+
+        Returns deserialized result objects in submission order (or the
+        raw per-point dicts with ``raw=True``).  Raises
+        :class:`ServiceOverloaded` on rejection and
+        :class:`ServicePointError` on the first failed point.
+        """
+        reply = self._wait(request_id)
+        kind = reply.get("type")
+        if kind == "rejected":
+            raise ServiceOverloaded(reply.get("reason", "overloaded"),
+                                    float(reply.get("retry_after", 1.0)))
+        if kind == "error":
+            raise ServiceError(str(reply.get("error")))
+        if kind != "done":
+            raise ServiceError(f"unexpected reply type: {kind!r}")
+        entries = reply.get("results")
+        if not isinstance(entries, list):
+            raise ServiceError("malformed done reply")
+        if raw:
+            return entries
+        results = []
+        for entry in entries:
+            if entry.get("status") != "ok":
+                raise ServicePointError(
+                    str(entry.get("key", "")), str(entry.get("error")),
+                    bool(entry.get("retryable", False)),
+                    entry.get("failure"))
+            results.append(protocol.result_from_payload(
+                entry["kind"], entry["payload"]))
+        return results
+
+    def submit(self, points: Sequence[GridPoint],
+               deadline: Optional[float] = None, *,
+               raw: bool = False) -> List[Any]:
+        """Submit one grid and block for its results."""
+        return self.result(self.submit_nowait(points, deadline), raw=raw)
+
+
+def submit_with_retry(client: ServiceClient, points: Sequence[GridPoint],
+                      *, deadline: Optional[float] = None,
+                      attempts: int = 6, base: float = 0.2,
+                      cap: float = 30.0,
+                      rng: Optional[random.Random] = None,
+                      sleep=time.sleep, raw: bool = False) -> List[Any]:
+    """Submit with capped exponential backoff on explicit rejection.
+
+    The delay before retry *n* is drawn uniformly from
+    ``[0, min(cap, max(retry_after, base * 2^n))]`` — full jitter, so a
+    thousand rejected clients decorrelate instead of hammering the
+    service again in lockstep.  Only :class:`ServiceOverloaded` is
+    retried; real failures propagate immediately.
+    """
+    rng = rng if rng is not None else random.Random()
+    last: Optional[ServiceOverloaded] = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return client.submit(points, deadline, raw=raw)
+        except ServiceOverloaded as exc:
+            last = exc
+            ceiling = min(cap, max(exc.retry_after, base * (2 ** attempt)))
+            sleep(rng.uniform(0.0, ceiling))
+    assert last is not None
+    raise last

@@ -1,0 +1,126 @@
+"""Machine-wide request coalescing for in-flight grid points.
+
+Duplicate submission storms are the common case for a shared service:
+every CI shard asks for the same baseline sweep, every notebook rerun
+re-requests the grid it just plotted.  The disk cache already collapses
+*completed* duplicates; this table collapses *in-flight* ones.  Points
+are identified by the same content-hash cache key the runner stores
+results under (:func:`repro.experiments.scheduler.point_key` — source
+fingerprint, benchmark profile, config, run length all folded in), so
+two submissions coalesce exactly when their results would be
+byte-identical anyway.
+
+Each in-flight key owns one :class:`Entry` holding one shared
+``asyncio.Future``.  The first submission to ask creates the entry (and
+becomes the one that spawns a compute task); every later submission
+attaches as a subscriber and awaits the same future through
+``asyncio.shield``, so a subscriber that disconnects mid-wait cancels
+only its own await — the computation keeps running and warms the cache
+for everyone else.  While a key is in flight its cache entry is pinned
+(:func:`repro.experiments.diskcache.pin`) so the quota evictor of a
+*different* process sharing the cache directory cannot evict a result
+between the worker writing it and the service reading it back.
+
+The table is only touched from the server's event loop; no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments import diskcache
+
+
+class Entry:
+    """One in-flight computation: a shared future plus bookkeeping."""
+
+    __slots__ = ("key", "point", "future", "subscribers", "engine")
+
+    def __init__(self, key: str, point: Any,
+                 loop: asyncio.AbstractEventLoop):
+        self.key = key
+        self.point = point
+        self.future: asyncio.Future = loop.create_future()
+        # Mark any failure as retrieved: when every subscriber has
+        # disconnected the exception is intentionally unobserved, and
+        # asyncio's "exception never retrieved" warning would be noise.
+        self.future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self.subscribers = 0
+        #: pinned execution engine after a divergence ("reference").
+        self.engine: Optional[str] = None
+
+
+class CoalesceTable:
+    """Key -> in-flight :class:`Entry`, with lifetime accounting."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Entry] = {}
+        self.created_total = 0
+        self.attached_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Entry]:
+        return self._entries.get(key)
+
+    def attach(self, key: str, point: Any,
+               loop: asyncio.AbstractEventLoop) -> Tuple[Entry, bool]:
+        """Join the in-flight computation for ``key``, creating it if new.
+
+        Returns ``(entry, created)``; ``created`` tells the caller it is
+        responsible for spawning the compute task.  A newly created
+        entry pins the key's disk-cache slot against cross-process quota
+        eviction for the duration of the flight.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = Entry(key, point, loop)
+            self._entries[key] = entry
+            self.created_total += 1
+            diskcache.pin(key)
+            created = True
+        else:
+            self.attached_total += 1
+            created = False
+        entry.subscribers += 1
+        return entry, created
+
+    def release(self, entry: Entry) -> None:
+        """One subscriber stopped waiting (answered or disconnected).
+
+        The entry itself stays until :meth:`finish` — the computation is
+        not cancelled when its last subscriber walks away, because the
+        result still warms the shared cache for the next asker.
+        """
+        if entry.subscribers > 0:
+            entry.subscribers -= 1
+
+    def finish(self, key: str) -> None:
+        """The computation resolved (either way): drop entry and pin."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            diskcache.unpin(key)
+
+    def fail_all(self, exc: BaseException) -> None:
+        """Drain path: fail every entry whose future is still open.
+
+        Compute tasks are being cancelled by the caller; any future they
+        have not resolved gets ``exc`` so waiting submissions receive an
+        explicit retryable answer instead of hanging.
+        """
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+            self.finish(key)
+
+    def stats(self) -> Dict[str, int]:
+        """Introspection counters for the service ``status`` reply."""
+        return {
+            "in_flight": len(self._entries),
+            "created_total": self.created_total,
+            "coalesced_total": self.attached_total,
+        }

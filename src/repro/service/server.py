@@ -1,0 +1,664 @@
+"""The asyncio experiment server: admission, supervision, drain.
+
+One :class:`ExperimentService` owns one process pool and serves many
+concurrent clients over line-delimited JSON
+(:mod:`repro.service.protocol`).  The design goal is that a *shared*
+front door is never worse than everyone running
+:func:`repro.experiments.scheduler.run_grid` privately, and usually far
+better, because the service adds four things the library cannot:
+
+* **Admission control.**  Every submission is costed *before* any state
+  is created: points already on disk, already journaled or already in
+  flight are free; only genuinely new computations count against the
+  global ``REPRO_ADMIT_MAX`` window.  An overloaded service answers
+  with an explicit ``rejected`` + ``retry_after`` hint — it never
+  queues unboundedly, never hangs a client, never silently drops work.
+* **Request coalescing.**  In-flight points are deduplicated
+  machine-wide by their content-hash cache keys
+  (:mod:`repro.service.coalesce`): a duplicate storm of a thousand
+  submissions costs one computation per distinct point, and a client
+  that disconnects mid-wait only detaches itself — the computation
+  finishes and warms the shared cache.
+* **Graceful degradation.**  Per-point supervision mirrors the
+  scheduler's taxonomy (transient -> retry with backoff, timeout ->
+  kill the hung worker, deterministic -> one clean inline re-run,
+  divergence -> requeue pinned to the reference engine), and a
+  :class:`~repro.service.breaker.CircuitBreaker` trips the service from
+  pooled to inline in-parent execution after repeated pool breaks —
+  the safe floor, since injected faults never fire outside marked
+  workers.
+* **Crash-safe drain.**  SIGTERM (or the ``drain`` op) stops admitting,
+  gives in-flight points a grace window, then answers every waiting
+  client with explicit retryable errors and leaves each submission's
+  checkpoint journal on disk — a restarted service recomputes only the
+  unjournaled remainder, byte-identical to a clean run.
+
+Every submission runs under a grid checkpoint journal
+(:mod:`repro.experiments.checkpoint`) keyed by its content-hashed point
+set, so crash-resume works per client request, not just per process.
+
+The server is single-event-loop; simulations run in pool workers (or,
+degraded, in threads via ``asyncio.to_thread``), so the loop only ever
+does bookkeeping and IO.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments import (checkpoint, diskcache, env, faults, runner,
+                               scheduler, warnonce)
+from repro.service import protocol
+from repro.service.breaker import CircuitBreaker
+from repro.service.coalesce import CoalesceTable, Entry
+
+#: Default bind address when ``REPRO_SERVICE_ADDR`` is unset.
+DEFAULT_ADDR = ("127.0.0.1", 8753)
+
+
+class ServiceDraining(Exception):
+    """The service is shutting down; the work is retryable elsewhere."""
+
+
+class PointComputationError(Exception):
+    """A point's terminal failure, tagged with the fault taxonomy kind."""
+
+    def __init__(self, message: str, kind: str, retryable: bool):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
+
+
+class _Connection:
+    """Per-client state: a write lock (responses interleave), backlog."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.active = 0      #: submissions currently being served
+        self.alive = True
+
+    async def send(self, message: Dict[str, Any]) -> None:
+        if not self.alive:
+            return
+        try:
+            data = protocol.encode(message)
+        except protocol.ProtocolError:
+            data = protocol.encode({"id": message.get("id"), "type": "error",
+                                    "error": "response exceeded line limit"})
+        async with self.lock:
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                self.alive = False  # client gone; computations continue
+
+
+class ExperimentService:
+    """The async grid front door.  See the module docstring."""
+
+    def __init__(self, host: Optional[str] = None, port: Optional[int] = None,
+                 *, jobs: Optional[int] = None,
+                 admit_max: Optional[int] = None,
+                 client_backlog: Optional[int] = None,
+                 drain_grace: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None):
+        default_host, default_port = env.get_hostport(
+            "REPRO_SERVICE_ADDR", DEFAULT_ADDR)
+        self.host = default_host if host is None else host
+        self.port = default_port if port is None else port
+        self._jobs = scheduler.resolve_jobs(jobs)
+        if admit_max is None:
+            admit_max = env.get_int("REPRO_ADMIT_MAX", 4 * self._jobs)
+        self._admit_max = max(1, admit_max or 1)
+        if client_backlog is None:
+            client_backlog = env.get_int("REPRO_CLIENT_BACKLOG", 32)
+        self._client_backlog = max(1, client_backlog or 1)
+        if drain_grace is None:
+            drain_grace = env.get_float("REPRO_DRAIN_GRACE", 30.0)
+        self._drain_grace = max(0.0, drain_grace or 0.0)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.table = CoalesceTable()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock = asyncio.Lock()
+        self._ordinal = 0
+        self._drive_tasks: set = set()
+        self._submit_tasks: set = set()
+        self._conn_tasks: set = set()
+        self._connections: set = set()
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped = asyncio.Event()
+        self.counters: Dict[str, int] = {
+            "clients": 0, "submissions": 0, "points": 0,
+            "journal_hits": 0, "cache_hits": 0, "coalesced": 0,
+            "computed_ok": 0, "computed_failed": 0, "rejected": 0,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port).
+
+        ``port=0`` asks the OS for an ephemeral port (the test and bench
+        harnesses rely on this); the resolved port is stored back on
+        ``self.port``.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=protocol.MAX_LINE)
+        self.port = self._server.sockets[0].getsockname()[1]
+        try:
+            self._loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            pass  # non-main thread or platform without loop signals
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until a drain (SIGTERM or the ``drain`` op) completes."""
+        await self._stopped.wait()
+
+    async def run(self) -> None:
+        """``start`` + ``serve_forever`` + final cleanup, for callers."""
+        await self.start()
+        try:
+            await self.serve_forever()
+        finally:
+            await self.aclose()
+
+    def begin_drain(self) -> None:
+        """Stop admitting and shut down gracefully (idempotent).
+
+        Safe to call from a signal handler registered on the loop; the
+        actual drain runs as a task so the handler returns immediately.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        assert self._loop is not None
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        tasks = set(self._drive_tasks)
+        if tasks:
+            _done, pending = await asyncio.wait(
+                tasks, timeout=self._drain_grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=5.0)
+        # Whatever did not finish inside the grace window answers its
+        # waiting submissions with an explicit retryable error; their
+        # journals keep every point that *did* complete.
+        self.table.fail_all(ServiceDraining(
+            "service draining; completed points are journaled — resubmit"))
+        await self._break_pool(self._pool_generation)
+        submits = set(self._submit_tasks)
+        if submits:
+            await asyncio.wait(submits, timeout=5.0)
+        # Every waiting client has been answered; hang up so connection
+        # handlers exit on EOF instead of being cancelled mid-read when
+        # the loop tears down (which would log spurious tracebacks).
+        for conn in list(self._connections):
+            conn.alive = False
+            try:
+                conn.writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        handlers = set(self._conn_tasks)
+        if handlers:
+            await asyncio.wait(handlers, timeout=5.0)
+        self._stopped.set()
+
+    async def aclose(self) -> None:
+        """Release sockets and the pool (after ``serve_forever`` returns)."""
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        await self._break_pool(self._pool_generation)
+
+    # ------------------------------------------------------------ the pool
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._jobs,
+            initializer=scheduler._worker_init,
+            initargs=(warnonce.snapshot(),))
+
+    async def _ensure_pool(self) -> Tuple[ProcessPoolExecutor, int]:
+        async with self._pool_lock:
+            if self._pool is None:
+                self._pool = await asyncio.to_thread(self._spawn_pool)
+                self._pool_generation += 1
+            return self._pool, self._pool_generation
+
+    async def _break_pool(self, generation: int) -> None:
+        """Kill the pool of ``generation`` (no-op if already replaced).
+
+        The generation guard stops a slow failure from one pool's corpse
+        tearing down the healthy replacement another drive task already
+        spawned.
+        """
+        async with self._pool_lock:
+            if self._pool is None or self._pool_generation != generation:
+                return
+            pool, self._pool = self._pool, None
+        await asyncio.to_thread(scheduler._kill_pool, pool)
+
+    # ------------------------------------------------------- computation
+
+    async def _run_pooled(self, entry: Entry, attempt: int,
+                          timeout: Optional[float]):
+        point = entry.point
+        pool, generation = await self._ensure_pool()
+        ordinal = self._ordinal
+        self._ordinal += 1
+        try:
+            future = pool.submit(scheduler._run_point_task, point, ordinal,
+                                 attempt, entry.key, entry.engine)
+        except RuntimeError as exc:  # pool shut down under us
+            raise BrokenExecutor(str(exc)) from None
+        scaled = None
+        if timeout is not None and timeout > 0:
+            scaled = timeout * max(
+                1.0, scheduler.estimated_cost(point) / faults.COST_REFERENCE)
+        try:
+            return await asyncio.wait_for(asyncio.wrap_future(future), scaled)
+        except asyncio.TimeoutError:
+            await self._break_pool(generation)  # the worker is hung: kill it
+            raise faults.PointTimeout(
+                f"point exceeded its {scaled:.1f}s cost-scaled deadline"
+            ) from None
+        except BrokenExecutor:
+            await self._break_pool(generation)
+            raise
+
+    async def _compute(self, entry: Entry, timeout: Optional[float]):
+        """Run one point to a result under the supervision policy.
+
+        Mirrors ``_Supervisor``'s taxonomy, restated for one point:
+        divergence diverts to the reference engine without consuming an
+        attempt; a deterministic failure gets exactly one inline re-run
+        (the safe floor — injected faults never fire in the parent);
+        transient failures and timeouts retry with exponential backoff
+        up to ``max(REPRO_RETRIES, breaker threshold)`` so a breaker
+        that is about to trip still has attempts left to finish the
+        point inline.
+        """
+        max_retries = max(faults.resolve_retries(None),
+                          self.breaker.threshold)
+        backoff = faults.resolve_backoff()
+        attempt = 0
+        inline_pinned = False
+        while True:
+            inline = (inline_pinned or self._jobs <= 1
+                      or not self.breaker.allow_pool())
+            try:
+                if inline:
+                    return await asyncio.to_thread(
+                        scheduler._run_point, entry.point, entry.engine)
+                result = await self._run_pooled(entry, attempt, timeout)
+                self.breaker.record_success()
+                return result
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                kind = faults.classify(exc)
+                if kind == faults.DIVERGENCE:
+                    if entry.engine is None:
+                        entry.engine = "reference"
+                        continue  # no attempt consumed: degrade, don't retry
+                    raise
+                if kind == faults.DETERMINISTIC:
+                    if inline:
+                        raise  # already at the floor: the failure is real
+                    inline_pinned = True  # one clean in-parent re-run
+                    continue
+                if kind == faults.TIMEOUT or isinstance(exc, BrokenExecutor):
+                    self.breaker.record_break()
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                delay = faults.backoff_delay(backoff, attempt)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
+    async def _drive(self, entry: Entry, timeout: Optional[float]) -> None:
+        """Own one in-flight computation: resolve its shared future."""
+        try:
+            result = await self._compute(entry, timeout)
+            scheduler._admit(entry.point, result)
+            payload = protocol.result_to_payload(entry.point.kind, result)
+            self.counters["computed_ok"] += 1
+            if not entry.future.done():
+                entry.future.set_result(payload)
+        except asyncio.CancelledError:
+            if not entry.future.done():
+                entry.future.set_exception(ServiceDraining(
+                    "computation cancelled by service drain"))
+            raise
+        except BaseException as exc:
+            kind = faults.classify(exc)
+            self.counters["computed_failed"] += 1
+            if not entry.future.done():
+                entry.future.set_exception(PointComputationError(
+                    faults.format_error(exc), kind,
+                    retryable=kind in (faults.TRANSIENT, faults.TIMEOUT)))
+        finally:
+            self.table.finish(entry.key)
+
+    # -------------------------------------------------------- admission
+
+    def _admission_answer(self, conn: _Connection, keys: List[str]):
+        """``None`` to admit, else ``(reason, retry_after_seconds)``.
+
+        Runs *before* any entry, journal or task exists, so a rejected
+        submission leaves zero state behind.  Only genuinely new
+        computations count against the window: keys already in flight
+        attach for free, and keys with a disk-cache entry are answered
+        from disk without a pool slot (one ``stat`` per key keeps the
+        check cheap enough for the admission path).
+        """
+        if self._draining:
+            return protocol.DRAINING, 5.0
+        if conn.active >= self._client_backlog:
+            return protocol.CLIENT_BACKLOG, 1.0
+        new = 0
+        for key in dict.fromkeys(keys):
+            if self.table.get(key) is None \
+                    and not diskcache.entry_path(key).exists():
+                new += 1
+        backlog = len(self.table) + new - self._admit_max
+        if backlog > 0:
+            return protocol.OVERLOADED, min(30.0, max(0.5, 0.25 * backlog))
+        return None
+
+    # ------------------------------------------------------- submissions
+
+    def _cached_payload(self, point) -> Optional[Dict[str, Any]]:
+        if point.kind == scheduler.FRONTEND:
+            result = runner.cached_frontend_result(
+                point.benchmark, point.config, point.n)
+        else:
+            result = runner.cached_machine_result(
+                point.benchmark, point.config, point.n, warmup=point.warmup)
+        if result is None:
+            return None
+        return protocol.result_to_payload(point.kind, result)
+
+    async def _handle_submit(self, conn: _Connection,
+                             message: Dict[str, Any]) -> None:
+        reply_id = message.get("id")
+        try:
+            raw_points = message.get("points")
+            if not isinstance(raw_points, list) or not raw_points:
+                raise protocol.ProtocolError(
+                    "submit needs a non-empty points list")
+            deadline = protocol.parse_deadline(message.get("deadline"))
+            points = [protocol.point_from_dict(p).resolved()
+                      for p in raw_points]
+            keys = [scheduler.point_key(p) for p in points]
+        except protocol.ProtocolError as exc:
+            await conn.send({"id": reply_id, "type": "error",
+                             "error": str(exc)})
+            return
+        rejection = self._admission_answer(conn, keys)
+        if rejection is not None:
+            reason, retry_after = rejection
+            self.counters["rejected"] += 1
+            await conn.send({"id": reply_id, "type": "rejected",
+                             "reason": reason, "retry_after": retry_after})
+            return
+
+        conn.active += 1
+        self.counters["submissions"] += 1
+        self.counters["points"] += len(points)
+        loop = asyncio.get_running_loop()
+        deadline_at = None if deadline is None else loop.time() + deadline
+        journal = checkpoint.Journal(keys)
+        journaled = await asyncio.to_thread(journal.load)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        waits: List[Tuple[int, Any, str, Entry]] = []
+        to_compute: List[Any] = []
+        try:
+            for index, (point, key) in enumerate(zip(points, keys)):
+                hit = journaled.get(key)
+                if hit is not None:
+                    self.counters["journal_hits"] += 1
+                    results[index] = {"key": key, "kind": point.kind,
+                                      "status": "ok", "payload": hit[1]}
+                    continue
+                cached = await asyncio.to_thread(self._cached_payload, point)
+                if cached is not None:
+                    self.counters["cache_hits"] += 1
+                    journal.record(key, point.kind, cached)
+                    results[index] = {"key": key, "kind": point.kind,
+                                      "status": "ok", "payload": cached}
+                    continue
+                entry, created = self.table.attach(key, point, loop)
+                if created:
+                    to_compute.append(entry)
+                else:
+                    self.counters["coalesced"] += 1
+                waits.append((index, point, key, entry))
+            # One cost-proportional per-point budget for the points this
+            # submission actually computes (an env REPRO_POINT_TIMEOUT,
+            # when set, wins — same precedence as run_grid).
+            base_timeout = faults.resolve_timeout(None)
+            if base_timeout is None and deadline is not None:
+                base_timeout = scheduler.deadline_point_timeout(
+                    [entry.point for entry in to_compute] or points, deadline)
+            for entry in to_compute:
+                task = loop.create_task(self._drive(entry, base_timeout))
+                self._drive_tasks.add(task)
+                task.add_done_callback(self._drive_tasks.discard)
+            for index, point, key, entry in waits:
+                results[index] = await self._await_entry(
+                    entry, point, key, journal, deadline_at, loop)
+            clean = all(r is not None and r.get("status") == "ok"
+                        for r in results)
+            if clean:
+                journal.complete()
+            await conn.send({"id": reply_id, "type": "done",
+                             "results": results})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defensive: a client must never hang
+            await conn.send({"id": reply_id, "type": "error",
+                             "error": faults.format_error(exc)})
+        finally:
+            journal.close()  # no-op after complete(); keeps it for resume
+            for _index, _point, _key, entry in waits:
+                self.table.release(entry)
+            conn.active -= 1
+
+    async def _await_entry(self, entry: Entry, point, key: str,
+                           journal: checkpoint.Journal,
+                           deadline_at: Optional[float],
+                           loop: asyncio.AbstractEventLoop) -> Dict[str, Any]:
+        """Wait for one shared future; classify the outcome for the wire.
+
+        The wait is shielded: a submission that is cancelled (client
+        disconnect, drain) or that runs out of deadline detaches without
+        cancelling the computation, which continues to warm the cache.
+        """
+        base = {"key": key, "kind": point.kind}
+        try:
+            if deadline_at is None:
+                payload = await asyncio.shield(entry.future)
+            else:
+                remaining = deadline_at - loop.time()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                payload = await asyncio.wait_for(
+                    asyncio.shield(entry.future), remaining)
+        except asyncio.TimeoutError:
+            return {**base, "status": "error", "retryable": True,
+                    "error": "deadline exceeded waiting for result"}
+        except ServiceDraining as exc:
+            return {**base, "status": "error", "retryable": True,
+                    "error": str(exc)}
+        except PointComputationError as exc:
+            return {**base, "status": "error", "retryable": exc.retryable,
+                    "failure": exc.kind, "error": str(exc)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defensive: never hang a client
+            return {**base, "status": "error", "retryable": True,
+                    "error": faults.format_error(exc)}
+        journal.record(key, point.kind, payload)
+        return {**base, "status": "ok", "payload": payload}
+
+    # ------------------------------------------------------------ status
+
+    async def _status_payload(self) -> Dict[str, Any]:
+        cache = await asyncio.to_thread(diskcache.cache_stats)
+        return {
+            "draining": self._draining,
+            "jobs": self._jobs,
+            "admit_max": self._admit_max,
+            "client_backlog": self._client_backlog,
+            "in_flight": len(self.table),
+            "counters": dict(self.counters),
+            "coalesce": self.table.stats(),
+            "breaker": self.breaker.stats(),
+            "cache": cache,
+        }
+
+    # ------------------------------------------------------- connections
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self.counters["clients"] += 1
+        self._connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await conn.send({"id": None, "type": "error",
+                                     "error": "oversized protocol line"})
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    await conn.send({"id": None, "type": "error",
+                                     "error": str(exc)})
+                    continue
+                op = message.get("op")
+                reply_id = message.get("id")
+                if op == "ping":
+                    await conn.send({"id": reply_id, "type": "pong",
+                                     "version": protocol.PROTOCOL_VERSION})
+                elif op == "status":
+                    await conn.send({"id": reply_id, "type": "status",
+                                     **(await self._status_payload())})
+                elif op == "drain":
+                    self.begin_drain()
+                    await conn.send({"id": reply_id, "type": "draining"})
+                elif op == "submit":
+                    task = asyncio.get_running_loop().create_task(
+                        self._handle_submit(conn, message))
+                    for registry in (tasks, self._submit_tasks):
+                        registry.add(task)
+                        task.add_done_callback(registry.discard)
+                else:
+                    await conn.send({"id": reply_id, "type": "error",
+                                     "error": f"unknown op: {op!r}"})
+        finally:
+            conn.alive = False
+            self._connections.discard(conn)
+            # Disconnect teardown: the submissions stop waiting (their
+            # shielded awaits cancel, releasing their subscriptions and
+            # closing their journals), the computations keep running.
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class ServiceThread:
+    """A service on a background thread, for tests and benchmarks.
+
+    ``start()`` blocks until the server is bound and returns the live
+    ``(host, port)``; ``stop()`` triggers a drain and joins the thread.
+    """
+
+    def __init__(self, **kwargs: Any):
+        self.service = ExperimentService(**kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def _main(self) -> None:
+        async def body() -> None:
+            try:
+                await self.service.start()
+            finally:
+                self._ready.set()
+            try:
+                await self.service.serve_forever()
+            finally:
+                await self.service.aclose()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surface bind errors to start()
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._main,
+                                            name="repro-service",
+                                            daemon=True)
+            self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error!r}")
+        return self.service.host, self.service.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self.service._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.service.begin_drain)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+
+def serve(host: Optional[str] = None, port: Optional[int] = None,
+          **kwargs: Any) -> None:
+    """Blocking entry point used by ``repro serve``.
+
+    Runs until SIGTERM (or a client ``drain`` op) completes a graceful
+    drain; Ctrl-C interrupts immediately (checkpoint journals make even
+    that safe to resume).
+    """
+    service = ExperimentService(host, port, **kwargs)
+    asyncio.run(service.run())

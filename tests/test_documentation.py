@@ -31,6 +31,8 @@ PACKAGES = [
     "repro.experiments.diskcache", "repro.experiments.tracefile",
     "repro.experiments.warnonce", "repro.experiments.cachekey",
     "repro.experiments.serialize", "repro.experiments.env",
+    "repro.service", "repro.service.protocol", "repro.service.breaker",
+    "repro.service.coalesce", "repro.service.server", "repro.service.client",
     "repro.validate", "repro.validate.errors", "repro.validate.digests",
     "repro.validate.observer", "repro.validate.lockstep",
     "repro.validate.report",

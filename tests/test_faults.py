@@ -429,6 +429,74 @@ def test_sigkilled_run_resumes_from_journal(monkeypatch):
     assert not journal.exists()
 
 
+def test_sigint_interrupted_run_leaves_resumable_journal(monkeypatch):
+    """Ctrl-C (SIGINT to the parent only) mid-grid must (a) actually
+    terminate the run instead of wedging interpreter exit behind the
+    hung worker, and (b) leave the checkpoint journal resumable, so the
+    next run recomputes only the interrupted point."""
+    points = [GridPoint("frontend", "compress", BASELINE, N),
+              GridPoint("frontend", "compress", PROMOTION_PACKING, N)]
+    journal = _journal_path(points)
+
+    script = (
+        "from repro.config import BASELINE, PROMOTION_PACKING\n"
+        "from repro.experiments.scheduler import GridPoint, run_grid\n"
+        f"run_grid([GridPoint('frontend', 'compress', BASELINE, {N}),\n"
+        f"          GridPoint('frontend', 'compress', PROMOTION_PACKING, {N})],\n"
+        "         jobs=2)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_FAULTS"] = "hang:p0:600"
+    env["REPRO_DISK_CACHE"] = "0"
+    child = subprocess.Popen([sys.executable, "-c", script], env=env,
+                             cwd=REPO, start_new_session=True,
+                             stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal.exists() and journal.read_text().endswith("\n"):
+                break
+            if child.poll() is not None:
+                pytest.fail("child exited before journaling anything")
+            time.sleep(0.2)
+        else:
+            pytest.fail("journal never appeared")
+        os.kill(child.pid, signal.SIGINT)  # the parent only, like Ctrl-C
+        # The regression: exit used to block on the executor's atexit
+        # join of the hung worker.  The scheduler now kills the pool on
+        # the way out, so the child must die promptly.
+        returncode = child.wait(timeout=30)
+        assert returncode != 0
+    finally:
+        try:
+            os.killpg(child.pid, signal.SIGKILL)  # sweep any stragglers
+        except ProcessLookupError:
+            pass
+        child.wait(timeout=30)
+
+    entries = [json.loads(line) for line in journal.read_text().splitlines()]
+    packing_key = runner.frontend_cache_key("compress", PROMOTION_PACKING, N)
+    assert [entry["key"] for entry in entries] == [packing_key]
+
+    import repro.experiments.scheduler as scheduler
+
+    real = scheduler._run_point
+    recomputed = []
+
+    def counting(point, **kwargs):
+        recomputed.append(point)
+        return real(point, **kwargs)
+
+    monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    monkeypatch.setattr(scheduler, "_run_point", counting)
+    results = run_grid(points, jobs=1)
+    assert len(results) == 2
+    assert [p.config for p in recomputed] == [BASELINE]
+    assert not journal.exists()
+
+
 # --- satellite robustness fixes ----------------------------------------------
 
 
@@ -464,27 +532,33 @@ def test_corrupt_trace_warns_once_and_recovers():
     program = runner.get_program("compress")
     with pytest.warns(RuntimeWarning, match="corrupt oracle trace"):
         assert tracefile.load_oracle("compress", N, program) is None
-    assert not path.exists()  # deleted so it cannot shadow the rewrite
+    assert not path.exists()  # moved aside so it cannot shadow the rewrite
+    # The corrupt bytes were quarantined as evidence, not destroyed.
+    quarantined = list(diskcache.quarantine_dir().glob(f"{path.name}.*"))
+    assert len(quarantined) == 1
     recovered = runner.get_oracle("compress", N)  # recomputes + re-stores
     assert len(recovered) == len(oracle)
     assert path.exists()
 
 
-def test_corrupt_trace_deletion_tolerates_losing_the_race(monkeypatch):
+def test_corrupt_trace_quarantine_tolerates_losing_the_race(monkeypatch):
+    """Two processes race to quarantine the same corrupt trace: the one
+    whose rename loses must treat FileNotFoundError as success."""
     runner.get_oracle("compress", N)
     path = tracefile.trace_path("compress", N)
     faults._corrupt_file(path)
     runner._oracles.clear()
 
-    real_unlink = Path.unlink
+    real_replace = os.replace
 
-    def racing_unlink(self, *args, **kwargs):
-        if self == path:
-            real_unlink(self)  # the concurrent worker wins first...
-            raise FileNotFoundError(str(self))  # ...then we lose the race
-        return real_unlink(self, *args, **kwargs)
+    def racing_replace(src, dst, *args, **kwargs):
+        if str(src) == str(path):
+            real_replace(src, dst)  # the concurrent worker wins first...
+            raise FileNotFoundError(str(src))  # ...then we lose the race
+        return real_replace(src, dst, *args, **kwargs)
 
-    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    monkeypatch.setattr(os, "replace", racing_replace)
     program = runner.get_program("compress")
     with pytest.warns(RuntimeWarning, match="corrupt oracle trace"):
         assert tracefile.load_oracle("compress", N, program) is None
+    assert not path.exists()
