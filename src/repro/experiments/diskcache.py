@@ -35,9 +35,11 @@ clients, workers, and server restarts) adds three mechanisms:
 * **A disk quota** (``REPRO_CACHE_MAX_MB``) — after each store the
   writer evicts least-recently-used entries (file mtime is refreshed on
   every cache hit) until the total fits.  Keys *pinned* by in-flight
-  service points (pid-stamped pin files under ``pins/``; dead pids are
-  ignored) are never evicted, so a computation can never have its own
-  inputs or freshly shared outputs deleted out from under it.
+  service points (per-``(key, pid)`` pin files under ``pins/``, so
+  services sharing one cache directory protect their flights
+  independently; dead pids are ignored) are never evicted, so a
+  computation can never have its own inputs or freshly shared outputs
+  deleted out from under it.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.experiments import env
 from repro.experiments.cachekey import CACHE_SCHEMA_VERSION
@@ -342,25 +344,46 @@ def pin_dir() -> Path:
 
 
 def pin(key: str) -> None:
-    """Shield ``key`` from quota eviction while a point is in flight."""
+    """Shield ``key`` from quota eviction while a point is in flight.
+
+    Pins are per-``(key, pid)`` files: two services sharing one cache
+    directory can pin the same key independently, so one process
+    dropping its pin never strips the other's still-in-flight
+    protection (a shared single file would let whichever flight
+    finished first expose the slower one to eviction mid-read-back).
+    """
     directory = pin_dir()
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / f"{key}{_PIN_SUFFIX}").write_text(str(os.getpid()))
+        (directory / f"{key}.{os.getpid()}{_PIN_SUFFIX}").write_text(
+            str(os.getpid()))
     except OSError:
         pass
 
 
 def unpin(key: str) -> None:
-    """Drop the eviction shield for ``key`` (missing pins are fine)."""
+    """Drop *this process's* pin for ``key`` (missing pins are fine)."""
     try:
-        (pin_dir() / f"{key}{_PIN_SUFFIX}").unlink()
+        (pin_dir() / f"{key}.{os.getpid()}{_PIN_SUFFIX}").unlink()
     except OSError:
         pass
 
 
+def _pin_owner(path: Path) -> Tuple[str, int]:
+    """A pin file's ``(key, owner pid)``; pid is -1 when unparseable."""
+    name = path.name[:-len(_PIN_SUFFIX)]
+    key, dot, pid_text = name.rpartition(".")
+    if dot and pid_text.isdigit():
+        return key, int(pid_text)
+    # Legacy one-file-per-key pin (pre per-pid): pid in the content.
+    try:
+        return name, int(path.read_text().strip())
+    except (OSError, ValueError):
+        return name, -1
+
+
 def pinned_keys() -> set:
-    """Keys currently pinned by a *live* process.
+    """Keys pinned by at least one *live* process.
 
     A pin whose owner pid is dead is ignored (and removed) — a crashed
     service must not permanently exempt its in-flight keys from the
@@ -371,12 +394,9 @@ def pinned_keys() -> set:
     if not directory.is_dir():
         return pins
     for path in directory.glob(f"*{_PIN_SUFFIX}"):
-        try:
-            owner = int(path.read_text().strip())
-        except (OSError, ValueError):
-            owner = -1
+        key, owner = _pin_owner(path)
         if _pid_alive(owner):
-            pins.add(path.name[:-len(_PIN_SUFFIX)])
+            pins.add(key)
         else:
             try:
                 path.unlink()

@@ -10,9 +10,14 @@ better, because the service adds four things the library cannot:
 * **Admission control.**  Every submission is costed *before* any state
   is created: points already on disk, already journaled or already in
   flight are free; only genuinely new computations count against the
-  global ``REPRO_ADMIT_MAX`` window.  An overloaded service answers
-  with an explicit ``rejected`` + ``retry_after`` hint — it never
-  queues unboundedly, never hangs a client, never silently drops work.
+  global ``REPRO_ADMIT_MAX`` window, and each admitted-but-not-yet-
+  started key holds a reservation against that window until its
+  computation is attached, so concurrent submissions of *distinct*
+  points cannot all be admitted against the same stale in-flight count
+  (concurrent duplicates of a reserved key stay free: they coalesce
+  onto its one computation).  An overloaded service answers with an
+  explicit ``rejected`` + ``retry_after`` hint — it never queues
+  unboundedly, never hangs a client, never silently drops work.
 * **Request coalescing.**  In-flight points are deduplicated
   machine-wide by their content-hash cache keys
   (:mod:`repro.service.coalesce`): a duplicate storm of a thousand
@@ -123,6 +128,13 @@ class ExperimentService:
         self._drain_grace = max(0.0, drain_grace or 0.0)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.table = CoalesceTable()
+        #: Admitted-but-not-yet-attached new keys, counted against the
+        #: admission window so concurrent submissions (whose preparation
+        #: awaits journal/cache IO) cannot oversubscribe it.  Keyed, not
+        #: a counter: concurrent duplicates of a reserved key are free —
+        #: they will coalesce onto the one computation, exactly like
+        #: duplicates of a key already in the table.
+        self._reserved: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_generation = 0
         self._pool_lock = asyncio.Lock()
@@ -338,7 +350,10 @@ class ExperimentService:
         """Own one in-flight computation: resolve its shared future."""
         try:
             result = await self._compute(entry, timeout)
-            scheduler._admit(entry.point, result)
+            # Admission stores through the disk cache; keep that write
+            # off the event loop (a slow cache dir must not stall every
+            # client of the single-loop server).
+            await asyncio.to_thread(scheduler._admit, entry.point, result)
             payload = protocol.result_to_payload(entry.point.kind, result)
             self.counters["computed_ok"] += 1
             if not entry.future.done():
@@ -360,29 +375,55 @@ class ExperimentService:
 
     # -------------------------------------------------------- admission
 
-    def _admission_answer(self, conn: _Connection, keys: List[str]):
-        """``None`` to admit, else ``(reason, retry_after_seconds)``.
+    def _admission_answer(self, conn: _Connection, keys: List[str],
+                          journaled: Dict[str, Any]):
+        """``(None, reserved_keys)`` to admit, else ``((reason, hint), [])``.
 
-        Runs *before* any entry, journal or task exists, so a rejected
-        submission leaves zero state behind.  Only genuinely new
-        computations count against the window: keys already in flight
-        attach for free, and keys with a disk-cache entry are answered
-        from disk without a pool slot (one ``stat`` per key keeps the
-        check cheap enough for the admission path).
+        Runs *before* any entry, journal-write or task exists, so a
+        rejected submission leaves zero state behind.  Only genuinely
+        new computations count against the window: keys already in
+        flight (or reserved by a concurrent admission — those will
+        coalesce) attach for free, keys with a disk-cache entry are
+        answered from disk without a pool slot (one ``stat`` per key
+        keeps the check cheap enough for the admission path), and keys
+        replayed from the submission's checkpoint journal (``journaled``,
+        loaded by the caller before asking) are free too — resubmitting
+        an interrupted grid must never be rejected for work it already
+        finished.
+
+        The check and its reservation are one synchronous step on the
+        event loop: the returned keys are added to ``self._reserved``
+        before returning and must be handed back through
+        :meth:`_release_reservations` once they are attached (or the
+        submission dies), so concurrent submissions — whose preparation
+        awaits journal and cache IO — cannot all be admitted against
+        the same stale in-flight count.
         """
         if self._draining:
-            return protocol.DRAINING, 5.0
+            return (protocol.DRAINING, 5.0), []
         if conn.active >= self._client_backlog:
-            return protocol.CLIENT_BACKLOG, 1.0
-        new = 0
+            return (protocol.CLIENT_BACKLOG, 1.0), []
+        new_keys = []
         for key in dict.fromkeys(keys):
-            if self.table.get(key) is None \
+            if key not in journaled and key not in self._reserved \
+                    and self.table.get(key) is None \
                     and not diskcache.entry_path(key).exists():
-                new += 1
-        backlog = len(self.table) + new - self._admit_max
+                new_keys.append(key)
+        # Reserved keys that have since attached are already counted by
+        # the table; the rest are admitted work that has not landed yet.
+        pending = sum(1 for key in self._reserved
+                      if self.table.get(key) is None)
+        backlog = (len(self.table) + pending + len(new_keys)
+                   - self._admit_max)
         if backlog > 0:
-            return protocol.OVERLOADED, min(30.0, max(0.5, 0.25 * backlog))
-        return None
+            return (protocol.OVERLOADED,
+                    min(30.0, max(0.5, 0.25 * backlog))), []
+        self._reserved.update(new_keys)
+        return None, new_keys
+
+    def _release_reservations(self, reserved_keys: List[str]) -> None:
+        """Give admission reservations back (their keys attached or died)."""
+        self._reserved.difference_update(reserved_keys)
 
     # ------------------------------------------------------- submissions
 
@@ -413,7 +454,13 @@ class ExperimentService:
             await conn.send({"id": reply_id, "type": "error",
                              "error": str(exc)})
             return
-        rejection = self._admission_answer(conn, keys)
+        # The journal is read before the admission decision so that
+        # resubmitting an interrupted grid is admitted for free: its
+        # journaled points cost neither a pool slot nor a window share.
+        # The read creates no state, so a rejection still leaves none.
+        journal = checkpoint.Journal(keys)
+        journaled = await asyncio.to_thread(journal.load)
+        rejection, reserved = self._admission_answer(conn, keys, journaled)
         if rejection is not None:
             reason, retry_after = rejection
             self.counters["rejected"] += 1
@@ -426,50 +473,74 @@ class ExperimentService:
         self.counters["points"] += len(points)
         loop = asyncio.get_running_loop()
         deadline_at = None if deadline is None else loop.time() + deadline
-        journal = checkpoint.Journal(keys)
-        journaled = await asyncio.to_thread(journal.load)
         results: List[Optional[Dict[str, Any]]] = [None] * len(points)
         waits: List[Tuple[int, Any, str, Entry]] = []
-        to_compute: List[Any] = []
+        to_compute: List[Entry] = []
         try:
-            for index, (point, key) in enumerate(zip(points, keys)):
-                hit = journaled.get(key)
-                if hit is not None:
-                    self.counters["journal_hits"] += 1
-                    results[index] = {"key": key, "kind": point.kind,
-                                      "status": "ok", "payload": hit[1]}
-                    continue
-                cached = await asyncio.to_thread(self._cached_payload, point)
-                if cached is not None:
-                    self.counters["cache_hits"] += 1
-                    journal.record(key, point.kind, cached)
-                    results[index] = {"key": key, "kind": point.kind,
-                                      "status": "ok", "payload": cached}
-                    continue
-                entry, created = self.table.attach(key, point, loop)
-                if created:
-                    to_compute.append(entry)
-                else:
-                    self.counters["coalesced"] += 1
-                waits.append((index, point, key, entry))
-            # One cost-proportional per-point budget for the points this
-            # submission actually computes (an env REPRO_POINT_TIMEOUT,
-            # when set, wins — same precedence as run_grid).
-            base_timeout = faults.resolve_timeout(None)
-            if base_timeout is None and deadline is not None:
-                base_timeout = scheduler.deadline_point_timeout(
-                    [entry.point for entry in to_compute] or points, deadline)
-            for entry in to_compute:
-                task = loop.create_task(self._drive(entry, base_timeout))
-                self._drive_tasks.add(task)
-                task.add_done_callback(self._drive_tasks.discard)
+            spawned = 0
+            try:
+                for index, (point, key) in enumerate(zip(points, keys)):
+                    hit = journaled.get(key)
+                    if hit is not None:
+                        self.counters["journal_hits"] += 1
+                        results[index] = {"key": key, "kind": point.kind,
+                                          "status": "ok", "payload": hit[1]}
+                        continue
+                    cached = await asyncio.to_thread(self._cached_payload,
+                                                     point)
+                    if cached is not None:
+                        self.counters["cache_hits"] += 1
+                        await asyncio.to_thread(
+                            journal.record, key, point.kind, cached)
+                        results[index] = {"key": key, "kind": point.kind,
+                                          "status": "ok", "payload": cached}
+                        continue
+                    entry, created = self.table.attach(key, point, loop)
+                    if created:
+                        to_compute.append(entry)
+                    else:
+                        self.counters["coalesced"] += 1
+                    waits.append((index, point, key, entry))
+                # One cost-proportional per-point budget for the points
+                # this submission actually computes (an env
+                # REPRO_POINT_TIMEOUT, when set, wins — same precedence
+                # as run_grid).
+                base_timeout = faults.resolve_timeout(None)
+                if base_timeout is None and deadline is not None:
+                    base_timeout = scheduler.deadline_point_timeout(
+                        [entry.point for entry in to_compute] or points,
+                        deadline)
+                for entry in to_compute:
+                    task = loop.create_task(self._drive(entry, base_timeout))
+                    self._drive_tasks.add(task)
+                    task.add_done_callback(self._drive_tasks.discard)
+                    spawned += 1
+            except BaseException:
+                # Cancellation (client disconnect mid-preparation) or an
+                # error between attach and task spawn must not strand
+                # entries in the table: a stranded future would hang
+                # every later duplicate until drain, and its disk-cache
+                # pin would leak.  Entries whose drive task did start
+                # own their own teardown.
+                for entry in to_compute[spawned:]:
+                    if not entry.future.done():
+                        entry.future.set_exception(PointComputationError(
+                            "submission aborted before its computation "
+                            "started", faults.TRANSIENT, retryable=True))
+                    self.table.finish(entry.key)
+                raise
+            finally:
+                # New keys are now either attached (counted by the
+                # table) or torn down; the admission reservations have
+                # done their job either way.
+                self._release_reservations(reserved)
             for index, point, key, entry in waits:
                 results[index] = await self._await_entry(
                     entry, point, key, journal, deadline_at, loop)
             clean = all(r is not None and r.get("status") == "ok"
                         for r in results)
             if clean:
-                journal.complete()
+                await asyncio.to_thread(journal.complete)
             await conn.send({"id": reply_id, "type": "done",
                              "results": results})
         except asyncio.CancelledError:
@@ -517,7 +588,11 @@ class ExperimentService:
         except Exception as exc:  # defensive: never hang a client
             return {**base, "status": "error", "retryable": True,
                     "error": faults.format_error(exc)}
-        journal.record(key, point.kind, payload)
+        # Journal writes are blocking disk IO; running them on a worker
+        # thread keeps a slow cache dir from stalling the whole loop.
+        # Within one submission these awaits are sequential, so records
+        # to this journal never interleave.
+        await asyncio.to_thread(journal.record, key, point.kind, payload)
         return {**base, "status": "ok", "payload": payload}
 
     # ------------------------------------------------------------ status
@@ -530,6 +605,7 @@ class ExperimentService:
             "admit_max": self._admit_max,
             "client_backlog": self._client_backlog,
             "in_flight": len(self.table),
+            "admission_reserved": len(self._reserved),
             "counters": dict(self.counters),
             "coalesce": self.table.stats(),
             "breaker": self.breaker.stats(),

@@ -31,7 +31,7 @@ from repro.service.breaker import CircuitBreaker
 from repro.service.client import (ServiceClient, ServiceError,
                                   ServiceOverloaded, ServicePointError,
                                   submit_with_retry)
-from repro.service.server import ServiceThread
+from repro.service.server import ExperimentService, ServiceThread
 
 N = 6_000
 
@@ -283,11 +283,35 @@ def test_store_touch_on_hit_refreshes_lru(monkeypatch):
 def test_dead_pid_pins_are_ignored():
     key = "cd" * 32
     diskcache.store(key, "frontend", {"x": 1})
-    pin_path = diskcache.pin_dir() / f"{key}.pin"
-    pin_path.parent.mkdir(parents=True, exist_ok=True)
-    pin_path.write_text("999999999")
+    pin_dir = diskcache.pin_dir()
+    pin_dir.mkdir(parents=True, exist_ok=True)
+    # Legacy one-file-per-key pin (pid in the content) and the current
+    # per-(key, pid) format must both be recognised and swept when dead.
+    legacy = pin_dir / f"{key}.pin"
+    legacy.write_text("999999999")
+    modern = pin_dir / f"{key}.999999998.pin"
+    modern.write_text("999999998")
     assert diskcache.pinned_keys() == set()
-    assert not pin_path.exists()  # dead pin swept
+    assert not legacy.exists()  # dead pins swept
+    assert not modern.exists()
+
+
+def test_pins_are_per_process():
+    """Two services sharing a cache dir pin the same key: one process
+    dropping its pin must not strip the other's still-in-flight
+    protection (pid 1 stands in for the live sibling process)."""
+    key = "ab" * 32
+    pin_dir = diskcache.pin_dir()
+    pin_dir.mkdir(parents=True, exist_ok=True)
+    sibling = pin_dir / f"{key}.1.pin"
+    sibling.write_text("1")
+    diskcache.pin(key)
+    assert key in diskcache.pinned_keys()
+    diskcache.unpin(key)  # our flight finished; the sibling's has not
+    assert key in diskcache.pinned_keys()
+    assert sibling.exists()
+    sibling.unlink()
+    assert diskcache.pinned_keys() == set()
 
 
 def test_cache_stats_index_self_heals():
@@ -461,6 +485,75 @@ def test_client_backlog_rejection(monkeypatch):
             client.result(first)
     finally:
         gate.set()
+        service.stop()
+
+
+def test_admission_reserves_window_before_attach():
+    """The overload check and its reservation are one atomic step:
+    concurrent submissions whose preparation is still awaiting journal
+    and cache IO must not all be admitted against the same stale
+    in-flight count."""
+    from types import SimpleNamespace
+
+    service = ExperimentService(host="127.0.0.1", port=0, jobs=1,
+                                admit_max=1)
+    conn = SimpleNamespace(active=0)
+    key_a, key_b = "aa" * 32, "bb" * 32
+    rejection, reserved = service._admission_answer(conn, [key_a], {})
+    assert rejection is None and reserved == [key_a]
+    # The window is exhausted *before* key_a ever reaches the table.
+    rejection, extra = service._admission_answer(conn, [key_b], {})
+    assert extra == []
+    assert rejection is not None and rejection[0] == "overloaded"
+    # Concurrent duplicates of the reserved key are free: they will
+    # coalesce onto its one computation, like duplicates of an
+    # in-flight key.
+    rejection, extra = service._admission_answer(conn, [key_a], {})
+    assert rejection is None and extra == []
+    # Journaled points stay free even while the window is full: a
+    # resubmission of an interrupted grid must never be rejected for
+    # work it already finished.
+    rejection, extra = service._admission_answer(
+        conn, [key_b], {key_b: ("frontend", {})})
+    assert rejection is None and extra == []
+    # Releasing the reservation (preparation finished) reopens it.
+    service._release_reservations(reserved)
+    rejection, reserved = service._admission_answer(conn, [key_b], {})
+    assert rejection is None and reserved == [key_b]
+
+
+def test_preparation_failure_never_strands_coalesce_entries(monkeypatch):
+    """A failure between attaching a coalesce entry and spawning its
+    drive task (here: the cache probe for a later point of the same
+    submission blowing up) must tear the taskless entry down — a
+    stranded entry would hang every later duplicate until drain and
+    leak its disk-cache pin."""
+    real = ExperimentService._cached_payload
+    calls = []
+
+    def exploding(self, point):
+        calls.append(point)
+        if len(calls) == 2:
+            raise RuntimeError("cache probe exploded")
+        return real(self, point)
+
+    monkeypatch.setattr(ExperimentService, "_cached_payload", exploding)
+    service = _service()
+    try:
+        with ServiceClient(*service.start(), timeout=60) as client:
+            with pytest.raises(ServiceError, match="cache probe exploded"):
+                client.submit([_point(BASELINE), _point(PROMOTION_PACKING)])
+            status = client.status()
+            assert status["in_flight"] == 0
+            assert status["admission_reserved"] == 0
+            assert diskcache.pinned_keys() == set()
+            # The key is not wedged on a dead entry: resubmitting it
+            # computes normally (the third probe delegates to the real
+            # cache lookup).
+            results = client.submit([_point(BASELINE)])
+            assert results[0] is not None
+            assert client.status()["counters"]["computed_ok"] == 1
+    finally:
         service.stop()
 
 
