@@ -34,7 +34,12 @@ import sys
 if __name__ == "__main__":  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-import numpy as np
+try:  # the case samplers need numpy's Generator; ``--mode vector``
+    # degrades per-case (columns.available() is false without numpy),
+    # so the script itself must import cleanly on a numpy-free wheel.
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    np = None
 
 #: Profiles whose randomized variants the fuzzer samples — tight loops,
 #: interpreter-like call density, big-footprint code, and phase flips.
@@ -127,9 +132,14 @@ def run_one_machine(seed: int, length: int = DEFAULT_LENGTH) -> str:
     Pairs the columnar core with the fast front end and the frozen seed
     core with the reference front end (the same pairing the runner's
     lockstep guard uses), so a serialized-result mismatch flags a
-    divergence in either layer.  The machine window is a quarter of the
-    front-end budget — cycle-level runs are the slow part of a sweep.
+    divergence in either layer.  The columnar core runs twice — timing
+    memoization off and on — and both serializations must match the
+    reference, so every seed also races ``REPRO_MACHINE_MEMO`` against
+    the live-simulation semantics.  The machine window is a quarter of
+    the front-end budget — cycle-level runs are the slow part of a
+    sweep.
     """
+    from repro.core import memo
     from repro.core.machine import Machine
     from repro.core.machine_reference import Machine as ReferenceMachine
     from repro.experiments.cachekey import canonical_json
@@ -157,13 +167,32 @@ def run_one_machine(seed: int, length: int = DEFAULT_LENGTH) -> str:
         return machine_cls(program, config, max_instructions=machine_n,
                            engine=engine).run()
 
+    def in_memo_mode(flag: str):
+        previous = os.environ.get("REPRO_MACHINE_MEMO")
+        os.environ["REPRO_MACHINE_MEMO"] = flag
+        memo.reset_tables()
+        try:
+            return one_run(Machine, fast=True)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_MACHINE_MEMO", None)
+            else:
+                os.environ["REPRO_MACHINE_MEMO"] = previous
+            memo.reset_tables()
+
     reference = one_run(ReferenceMachine, fast=False)
-    fast_result = one_run(Machine, fast=True)
-    if canonical_json(machine_result_to_dict(fast_result)) != \
-            canonical_json(machine_result_to_dict(reference)):
+    wanted = canonical_json(machine_result_to_dict(reference))
+    if canonical_json(machine_result_to_dict(in_memo_mode("0"))) != wanted:
         raise DivergenceError(
             "columnar machine diverged from reference: serialized "
-            "MachineResult mismatch")
+            "MachineResult mismatch (REPRO_MACHINE_MEMO=0)")
+    memo_result = in_memo_mode("1")
+    if canonical_json(machine_result_to_dict(memo_result)) != wanted:
+        stats = {k: v for k, v in (memo_result.memo_stats or {}).items()
+                 if k != "table"}
+        raise DivergenceError(
+            "timing-memoized machine diverged from reference: serialized "
+            f"MachineResult mismatch (REPRO_MACHINE_MEMO=1, {stats})")
     warm = "warm" if warmup else "cold"
     return f"{profile.name}/{config.describe()}/{warm}"
 
@@ -282,6 +311,14 @@ def main(argv=None) -> int:
                              "check, or alternating frontend/machine "
                              "(default frontend)")
     args = parser.parse_args(argv)
+
+    if np is None and args.mode != "vector":
+        # Program generation itself requires numpy (an explicit
+        # RuntimeError in the generator), so the differential modes
+        # cannot run on a numpy-free wheel; say so instead of crashing.
+        print("fuzz_frontend: numpy unavailable; only --mode vector "
+              "(which degrades per-case) runs on a numpy-free install")
+        return 2
 
     mode_names = {run_one: "frontend", run_one_machine: "machine",
                   run_one_vector: "vector"}

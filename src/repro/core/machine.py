@@ -73,6 +73,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
+from repro.core import memo
 from repro.core.inflight import (
     Checkpoint, FetchGroup,
     S_DORMANT, S_WAITING, S_READY, S_MEM_BLOCKED, S_EXECUTING, S_DONE, S_SQUASHED,
@@ -339,6 +340,10 @@ class MachineResult:
     promotions: int = 0
     demotions: int = 0
     fill_reasons: dict = field(default_factory=dict)
+    # Timing-memo accounting (None when the memo layer is off).  Excluded
+    # from comparison and from serialization so memo-on and memo-off
+    # results stay byte-identical.
+    memo_stats: Optional[dict] = field(default=None, compare=False, repr=False)
 
     @property
     def ipc(self) -> float:
@@ -363,7 +368,8 @@ class Machine:
     """One configured machine bound to one program."""
 
     def __init__(self, program: Program, config: MachineConfig,
-                 max_instructions: Optional[int] = 100_000, engine=None):
+                 max_instructions: Optional[int] = 100_000, engine=None,
+                 memo_table=None):
         self.program = program
         self.config = config
         self.max_instructions = max_instructions
@@ -519,6 +525,25 @@ class Machine:
         from repro import validate
         self._validate_state = validate.invariants_armed()
 
+        # Timing memoization (REPRO_MACHINE_MEMO): span replay for
+        # recurring (compiled plan, pipeline context) pairs.  Only armed
+        # on the fast fetch engines (the memo keys hold compiled
+        # variants) and never under validation — the scalar cycle loop
+        # stays the reference semantics the lockstep guard compares
+        # against.
+        if self._fast_fetch and not validate.armed() and memo.enabled():
+            self._memo = memo_table if memo_table is not None \
+                else memo.default_table()
+        else:
+            self._memo = None
+        self._memo_rec = None            # SpanRecorder of an open span
+        self._memo_sig = None            # chained successor signature
+        self._max_cycles = 200 * (max_instructions or 100_000)
+        self._memo_run_stats = {
+            "hits": 0, "misses": 0, "bailouts": 0, "aborts": 0,
+            "cycles_fast_forwarded": 0, "instructions_replayed": 0,
+        }
+
     # ------------------------------------------------------------------ run
 
     def run(self) -> MachineResult:
@@ -670,6 +695,8 @@ class Machine:
                     self.store_queue.pop(0)
                 else:  # pragma: no cover - defensive
                     self.store_queue.remove(seq)
+                if self._memo_rec is not None:
+                    self._memo_rec.store_pops += 1
             elif code == 2:  # load
                 if self.load_queue and self.load_queue[0] == seq:
                     self.load_queue.pop(0)
@@ -819,6 +846,9 @@ class Machine:
 
     def _recover_mispredict(self, seq: int, slot: int) -> None:
         """Checkpoint repair at the branch's own checkpoint."""
+        if self._memo_rec is not None:
+            self._memo_rec = None   # recoveries are never memoized
+            self._memo_run_stats["aborts"] += 1
         cp = self.c_cp[slot]
         assert cp is not None, "dynamic branch without checkpoint"
         taken = self.c_taken[slot]
@@ -851,6 +881,9 @@ class Machine:
         point with a one-shot direction override installed so the branch
         executes correctly this time.
         """
+        if self._memo_rec is not None:
+            self._memo_rec = None
+            self._memo_run_stats["aborts"] += 1
         cp_entry = None
         for cseq, cp in reversed(self.checkpoints):
             if cseq < seq:
@@ -895,6 +928,7 @@ class Machine:
         live instruction up to the branch, global history and return
         address stack from the in-flight control instructions.
         """
+        self._memo_sig = None   # same stale-delta guard as _restore
         regs = list(self.arch_regs)
         rename: List[int] = [0] * NUM_REGS
         ghr = self.arch_ghr
@@ -946,6 +980,9 @@ class Machine:
         self.result.resolution_time_sum += \
             self.cycle + REDIRECT_BUBBLE - self.c_fcycle[slot]
         self.result.resolution_count += 1
+        if self._memo_rec is not None:
+            self._memo_rec = None
+            self._memo_run_stats["aborts"] += 1
         cp = self.c_cp[slot]
         self._fill_cuts.add(seq)
         if cp is not None:
@@ -959,6 +996,11 @@ class Machine:
         self._clear_fetch_state()
 
     def _restore(self, cp: Checkpoint) -> None:
+        # A chained memo signature describes the pipeline as a hit left
+        # it; rolling the core back invalidates that description, so a
+        # restored core must never carry the signature into its next
+        # fetch (it would key a stale delta).
+        self._memo_sig = None
         self.spec_regs = list(cp.regs)
         self.rename = list(cp.rename)
         self.engine.ghr.restore(cp.ghr_before)
@@ -1306,17 +1348,30 @@ class Machine:
             if oldest_unknown is not None and oldest_unknown < seq:
                 self.c_state[slot] = S_MEM_BLOCKED
                 self.blocked_loads.append(seq)
+                if self._memo_rec is not None:
+                    # Conservative-disambiguation block: the wake-up
+                    # ordering is not modelled, abort the recording.
+                    self._memo_rec = None
+                    self._memo_run_stats["aborts"] += 1
                 return None
         match = self._youngest_older_matching_store(seq, self.c_mem[slot])
         if match:
             if self.c_state[match & W_MASK] != S_DONE:
                 self.c_state[slot] = S_MEM_BLOCKED
                 self._mem_waiters.setdefault(match, []).append(seq)
+                if self._memo_rec is not None:
+                    self._memo_rec = None
+                    self._memo_run_stats["aborts"] += 1
                 return None
             self.result.load_forwards += 1
+            if self._memo_rec is not None:
+                memo.record_load(self, self._memo_rec, seq, match, None)
             return 1
         self.result.dcache_accesses += 1
-        return self._data_latency(self.c_mem[slot])
+        latency = self._data_latency(self.c_mem[slot])
+        if self._memo_rec is not None:
+            memo.record_load(self, self._memo_rec, seq, 0, latency)
+        return latency
 
     # -------------------------------------------------------------- dispatch
 
@@ -1749,6 +1804,8 @@ class Machine:
         )
         self.c_cp[slot] = cp
         self.checkpoints.append((seq, cp))
+        if self._memo_rec is not None:
+            memo.record_checkpoint(self, self._memo_rec, seq)
 
     # ----------------------------------------------------------------- fetch
 
@@ -1778,32 +1835,64 @@ class Machine:
             return
 
         engine = self.engine
-        entry_ghr = 0
-        entry_ras = None
-        if self._fast_fetch:
-            # Capture-off fast path: remember the fetch-entry (GHR, RAS)
-            # so branch snapshots can be reconstructed.  Fetches cut by a
-            # pending promoted-fault override — the one shape that cannot
-            # be reconstructed — capture their snapshots inside the
-            # engine's slow override walk regardless of the capture flag.
-            entry_ghr = engine.ghr.value
-            entry_ras = engine.ras.snapshot()
-            result = engine.fetch(self.pc)
-        else:
-            result = engine.fetch(self.pc)
-        if not result.active:
-            # Wrong-path fetch ran off the code image; spin until repair.
-            self.acc_branch_miss += 1
-            return
-        self.fetch_id += 1
-        group = FetchGroup(self.fetch_id, self.cycle)
-        self.result.fetches += 1
-        variant = result.variant
-        if variant is not None:
-            # Variant fetches never stall (trace hits are single-cycle).
-            self._fetch_cycle_groups.append((self.cycle, group))
-            self._enqueue_variant(result, variant, group, entry_ghr, entry_ras)
-            return
+        # Timing-memo span boundary: the machine sits at a fetch point, so
+        # an open recording closes here (its successor context doubles as
+        # the next lookup signature) and an applied hit's chained signature
+        # is consumed.  The boundary sits *before* engine.fetch, so the
+        # front end itself (predictors, trace cache, GHR/RAS) always runs
+        # live — only the machine timing of the span is replayed.
+        chain_sig = None
+        if self._memo is not None:
+            rec = self._memo_rec
+            if rec is not None:
+                self._memo_rec = None
+                chain_sig = memo.finalize(self, rec)
+            else:
+                chain_sig = self._memo_sig
+                self._memo_sig = None
+        while True:
+            entry_ghr = 0
+            entry_ras = None
+            if self._fast_fetch:
+                # Capture-off fast path: remember the fetch-entry (GHR,
+                # RAS) so branch snapshots can be reconstructed.  Fetches
+                # cut by a pending promoted-fault override — the one shape
+                # that cannot be reconstructed — capture their snapshots
+                # inside the engine's slow override walk regardless of the
+                # capture flag.
+                entry_ghr = engine.ghr.value
+                entry_ras = engine.ras.snapshot()
+                result = engine.fetch(self.pc)
+            else:
+                result = engine.fetch(self.pc)
+            if not result.active:
+                # Wrong-path fetch ran off the code image; spin until repair.
+                self.acc_branch_miss += 1
+                return
+            self.fetch_id += 1
+            group = FetchGroup(self.fetch_id, self.cycle)
+            self.result.fetches += 1
+            variant = result.variant
+            if variant is not None:
+                # Variant fetches never stall (trace hits are single-cycle).
+                if self._memo is not None:
+                    if memo.on_variant_fetch(self, result, variant, group,
+                                             entry_ghr, entry_ras, chain_sig):
+                        # Hit applied: the machine now sits at the *next*
+                        # fetch point (a recorded span ends exactly where
+                        # its recording did — immediately before a fetch,
+                        # with every stall condition clear), so chain
+                        # straight into that fetch within this cycle's
+                        # fetch stage.
+                        chain_sig = self._memo_sig
+                        self._memo_sig = None
+                        continue
+                    chain_sig = None
+                self._fetch_cycle_groups.append((self.cycle, group))
+                self._enqueue_variant(result, variant, group, entry_ghr,
+                                      entry_ras)
+                return
+            break
         if entry_ras is not None and result.source == "icache" \
                 and result.active_dirs[-1] is not None:
             # Capture was off for this icache block: the snapshot the
@@ -2065,6 +2154,10 @@ class Machine:
             result.tc_hits = trace_cache.stats.hits
             result.tc_misses = trace_cache.stats.misses
         result.l1i_misses = self.engine.memory.l1i.stats.misses
+        if self._memo is not None:
+            stats = dict(self._memo_run_stats)
+            stats["table"] = self._memo.stats()
+            result.memo_stats = stats
         return result
 
 

@@ -116,6 +116,8 @@ def clear_caches(disk: bool = False) -> None:
     warnonce.reset()
     from repro.frontend.build import reset_compiled_state
     reset_compiled_state()
+    from repro.core import memo as machine_memo
+    machine_memo.reset_tables()
     if disk:
         diskcache.purge()
         tracefile.purge()

@@ -599,6 +599,7 @@ class ExperimentService:
 
     async def _status_payload(self) -> Dict[str, Any]:
         cache = await asyncio.to_thread(diskcache.cache_stats)
+        from repro.core import memo as machine_memo
         return {
             "draining": self._draining,
             "jobs": self._jobs,
@@ -610,6 +611,7 @@ class ExperimentService:
             "coalesce": self.table.stats(),
             "breaker": self.breaker.stats(),
             "cache": cache,
+            "machine_memo": machine_memo.aggregate_stats(),
         }
 
     # ------------------------------------------------------- connections

@@ -319,3 +319,56 @@ def test_oracle_census_matches_row_walk(switch_program):
     assert census["static_touched"] == len(
         {inst.addr for inst, _, _ in rows})
     assert sum(census["class_counts"]) == len(rows)
+
+
+def test_no_bare_numpy_imports():
+    """Wheel audit: every ``import numpy`` in the tree must be guarded.
+
+    The package promises to install and import cleanly without numpy
+    (the scalar fallbacks take over), so any numpy import outside a
+    ``try``/``except ImportError`` guard is a packaging regression.
+    This is the automated form of the grep audit: walk every module
+    under ``src/repro`` and ``benchmarks`` and require each numpy
+    import statement to sit inside a try/except handling ImportError
+    (or ModuleNotFoundError, its subclass).
+    """
+    import ast
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    offenders = []
+    for base in ("src/repro", "benchmarks"):
+        for path in sorted((root / base).rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            guarded_spans = []
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Try):
+                    names = []
+                    for handler in node.handlers:
+                        t = handler.type
+                        if t is None:
+                            names.append("ImportError")
+                        elif isinstance(t, ast.Name):
+                            names.append(t.id)
+                        elif isinstance(t, ast.Tuple):
+                            names.extend(e.id for e in t.elts
+                                         if isinstance(e, ast.Name))
+                    if {"ImportError", "ModuleNotFoundError",
+                            "Exception"} & set(names):
+                        guarded_spans.append(
+                            (node.lineno, node.handlers[0].lineno))
+            for node in ast.walk(tree):
+                targets = []
+                if isinstance(node, ast.Import):
+                    targets = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    targets = [node.module]
+                if not any(t == "numpy" or t.startswith("numpy.")
+                           for t in targets):
+                    continue
+                if not any(lo <= node.lineno < hi
+                           for lo, hi in guarded_spans):
+                    offenders.append(f"{path.relative_to(root)}:"
+                                     f"{node.lineno}")
+    assert not offenders, \
+        f"unguarded numpy imports (wheel must work without numpy): {offenders}"

@@ -1,0 +1,259 @@
+"""Timing-memoization safety: memo-on must be invisible in results.
+
+The ``REPRO_MACHINE_MEMO`` layer (:mod:`repro.core.memo`) fast-forwards
+the columnar core over recorded (plan, pipeline-context) spans.  Every
+test here pins the same contract from a different angle: the memo path
+may only change wall-clock time, never a single serialized field of the
+:class:`MachineResult`.
+
+Covered: byte-identity across the full parity matrix (directed cases,
+inactive-issue/perfect-disambiguation ablations, ``run_machine_multi``
+batches), hit/miss/bailout accounting, capacity-one eviction, the
+``clear_caches`` / ``reset_tables`` reset proof, the ``REPRO_VALIDATE``
+lockout, and the restore-mid-run guard (a rolled-back core never
+carries a chained signature into its next fetch).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import config as cfg
+from repro.config import CoreConfig, MachineConfig
+from repro.core import memo
+from repro.core.machine import Machine
+from repro.experiments import runner
+from repro.experiments.cachekey import canonical_json
+from repro.experiments.serialize import machine_result_to_dict
+from repro.frontend.build import build_engine
+from repro.frontend.simulator import FrontEndSimulator
+
+N = 4_000
+WARMUP_N = 10_000
+
+#: The directed parity matrix (mirrors test_machine_parity.CASES) plus
+#: the benchmark with the highest measured steady-state hit rate.
+CASES = [
+    pytest.param("compress", MachineConfig(frontend=cfg.BASELINE),
+                 False, id="compress-baseline-cold"),
+    pytest.param("compress", MachineConfig(frontend=cfg.PROMOTION),
+                 True, id="compress-promotion-warm"),
+    pytest.param("li", MachineConfig(frontend=cfg.PROMOTION_PACKING),
+                 False, id="li-packing-cold"),
+    pytest.param("gcc", MachineConfig(frontend=cfg.ICACHE),
+                 True, id="gcc-icache-warm"),
+    pytest.param("go",
+                 MachineConfig(frontend=cfg.BASELINE,
+                               core=CoreConfig(perfect_disambiguation=True)),
+                 True, id="go-perfect-disamb-warm"),
+    pytest.param("perl", MachineConfig(frontend=cfg.PROMOTION_PACKING),
+                 True, id="perl-packing-warm"),
+]
+
+_ABLATION_FRONTENDS = (
+    dataclasses.replace(cfg.BASELINE, inactive_issue=False),
+    dataclasses.replace(cfg.PROMOTION, inactive_issue=False),
+    dataclasses.replace(cfg.PROMOTION_PACKING, inactive_issue=False),
+)
+
+
+def _random_ablation_cases(count: int = 4):
+    """Same seeded draw as the parity suite's ablation matrix."""
+    rng = random.Random(1998)
+    cases = []
+    for i in range(count):
+        bench = rng.choice(("compress", "li", "go", "m88ksim"))
+        frontend = rng.choice(_ABLATION_FRONTENDS)
+        perfect = rng.random() < 0.5
+        warmup = rng.random() < 0.5
+        config = MachineConfig(frontend=frontend,
+                               core=CoreConfig(perfect_disambiguation=perfect))
+        tag = "perfmem" if perfect else "conservative"
+        cases.append(pytest.param(bench, config, warmup,
+                                  id=f"rand{i}-{bench}-{tag}"))
+    return cases
+
+
+def _run(benchmark: str, config: MachineConfig, warmup: bool, *,
+         n: int = N):
+    """One columnar-core run under whatever memo mode is in effect."""
+    program = runner.get_program(benchmark)
+    engine = None
+    if warmup:
+        engine = build_engine(program, config.frontend,
+                              memory_config=config.memory)
+        FrontEndSimulator(program, config.frontend,
+                          oracle=runner.get_oracle(benchmark, WARMUP_N),
+                          engine=engine).run()
+    return Machine(program, config, max_instructions=n,
+                   engine=engine).run()
+
+
+def _ab(monkeypatch, benchmark, config, warmup, *, n: int = N):
+    """(memo-off result, memo-on result) for one parity-matrix point."""
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    off = _run(benchmark, config, warmup, n=n)
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    memo.reset_tables()
+    on = _run(benchmark, config, warmup, n=n)
+    memo.reset_tables()
+    return off, on
+
+
+@pytest.mark.parametrize("bench, config, warmup", CASES)
+def test_memo_byte_identity_directed(monkeypatch, bench, config, warmup):
+    off, on = _ab(monkeypatch, bench, config, warmup)
+    assert canonical_json(machine_result_to_dict(on)) == \
+        canonical_json(machine_result_to_dict(off))
+
+
+@pytest.mark.parametrize("bench, config, warmup", _random_ablation_cases())
+def test_memo_byte_identity_ablations(monkeypatch, bench, config, warmup):
+    off, on = _ab(monkeypatch, bench, config, warmup)
+    assert canonical_json(machine_result_to_dict(on)) == \
+        canonical_json(machine_result_to_dict(off))
+
+
+def test_memo_accounting(monkeypatch):
+    """Hit/miss/bailout accounting lands in ``MachineResult.memo_stats``.
+
+    ``perl`` + packing + warmup is the repo's best recurring-context
+    workload, so the run must actually hit; every fast-forwarded span
+    advances at least one cycle and replays at least one instruction,
+    and the accounting keys must be exactly the documented set.
+    """
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    memo.reset_tables()
+    result = _run("perl", MachineConfig(frontend=cfg.PROMOTION_PACKING),
+                  True)
+    stats = result.memo_stats
+    memo.reset_tables()
+    assert stats is not None
+    assert set(stats) == {"hits", "misses", "bailouts", "aborts",
+                          "cycles_fast_forwarded", "instructions_replayed",
+                          "table"}
+    assert stats["hits"] > 0
+    assert stats["misses"] > 0
+    assert stats["bailouts"] > 0
+    assert stats["cycles_fast_forwarded"] >= stats["hits"]
+    assert stats["instructions_replayed"] >= stats["hits"]
+    assert stats["table"]["hits"] >= stats["hits"]
+    assert stats["table"]["entries"] <= stats["table"]["capacity"]
+
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    off = _run("perl", MachineConfig(frontend=cfg.PROMOTION_PACKING), True)
+    assert off.memo_stats is None
+
+
+def test_memo_capacity_eviction(monkeypatch):
+    """A capacity-1 table thrashes (evicts on every store) yet stays
+    byte-identical — eviction can cost hits, never correctness."""
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    off = _run("perl", MachineConfig(frontend=cfg.PROMOTION_PACKING), True)
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    monkeypatch.setenv("REPRO_MACHINE_MEMO_MAX", "1")
+    memo.reset_tables()
+    on = _run("perl", MachineConfig(frontend=cfg.PROMOTION_PACKING), True)
+    stats = on.memo_stats
+    memo.reset_tables()
+    assert stats["table"]["capacity"] == 1
+    assert stats["table"]["entries"] <= 1
+    assert stats["table"]["evictions"] > 0
+    assert canonical_json(machine_result_to_dict(on)) == \
+        canonical_json(machine_result_to_dict(off))
+
+
+def test_run_machine_multi_memo_identity(monkeypatch):
+    """Batched multi-config runs share one memo table across members and
+    still serialize identically to memo-off batches."""
+    configs = [MachineConfig(frontend=cfg.BASELINE),
+               MachineConfig(frontend=cfg.PROMOTION),
+               MachineConfig(frontend=cfg.PROMOTION_PACKING)]
+    n = 1_500
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    runner.clear_caches(disk=True)
+    off = runner.run_machine_multi("compress", configs, n, warmup=False)
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    runner.clear_caches(disk=True)
+    on = runner.run_machine_multi("compress", configs, n, warmup=False)
+    runner.clear_caches(disk=True)
+    assert [canonical_json(machine_result_to_dict(r)) for r in on] == \
+        [canonical_json(machine_result_to_dict(r)) for r in off]
+
+
+def test_clear_caches_drops_memo_tables(monkeypatch):
+    """``runner.clear_caches()`` empties the memo tables, and a
+    post-reset run is result-identical to the pre-reset one."""
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    memo.reset_tables()
+    config = MachineConfig(frontend=cfg.PROMOTION_PACKING)
+    first = _run("perl", config, True)
+    assert memo.default_table().stats()["entries"] > 0
+    runner.clear_caches()
+    assert memo.default_table().stats()["entries"] == 0
+    assert memo.default_table().stats()["hits"] == 0
+    second = _run("perl", config, True)
+    memo.reset_tables()
+    assert canonical_json(machine_result_to_dict(second)) == \
+        canonical_json(machine_result_to_dict(first))
+
+
+def test_validate_mode_disables_memo(monkeypatch):
+    """The lockstep guard outranks the memo knob: under
+    ``REPRO_VALIDATE`` the machine must not attach a memo table even
+    with ``REPRO_MACHINE_MEMO=1`` forced."""
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    monkeypatch.setenv("REPRO_VALIDATE", "1")
+    program = runner.get_program("compress")
+    machine = Machine(program, MachineConfig(frontend=cfg.BASELINE),
+                      max_instructions=100)
+    assert machine._memo is None
+    result = machine.run()
+    assert result.memo_stats is None
+
+
+def test_memo_off_knob_disables_layer(monkeypatch):
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+    program = runner.get_program("compress")
+    machine = Machine(program, MachineConfig(frontend=cfg.BASELINE),
+                      max_instructions=100)
+    assert machine._memo is None
+
+
+def test_restore_never_replays_stale_delta(monkeypatch):
+    """A restored core must drop any chained memo signature.
+
+    A hit leaves ``_memo_sig`` describing the pipeline exactly as the
+    applied delta left it; a checkpoint restore rewinds that pipeline,
+    so carrying the signature forward could key a delta recorded for a
+    state the machine is no longer in.  Instrument both restore paths
+    on a run with real mispredict recoveries and require (a) that
+    recoveries actually happened, and (b) that every restore left the
+    chained signature cleared — then require byte-identity end to end.
+    """
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "1")
+    memo.reset_tables()
+
+    restores = []
+    real_restore = Machine._restore
+
+    def spy_restore(self, cp):
+        real_restore(self, cp)
+        restores.append(self._memo_sig)
+
+    monkeypatch.setattr(Machine, "_restore", spy_restore)
+    config = MachineConfig(frontend=cfg.PROMOTION_PACKING)
+    on = _run("perl", config, True)
+    memo.reset_tables()
+    assert on.memo_stats["hits"] > 0, "run must exercise the memo path"
+    assert restores, "run must exercise checkpoint restores"
+    assert all(sig is None for sig in restores), \
+        "restore carried a chained memo signature forward"
+
+    monkeypatch.setattr(Machine, "_restore", real_restore)
+    monkeypatch.setenv("REPRO_MACHINE_MEMO", "0")
+    off = _run("perl", config, True)
+    assert canonical_json(machine_result_to_dict(on)) == \
+        canonical_json(machine_result_to_dict(off))
