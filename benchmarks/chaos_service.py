@@ -16,14 +16,25 @@ The scenario the CI ``service-chaos`` job runs end to end:
 4. Recompute the whole grid serially in this process (disk cache off)
    and require the service's answers to be byte-identical.
 
+With ``--workers N`` the same scenario runs against a worker fleet
+(the CI ``fleet-chaos`` job): N ``repro worker`` processes attach to
+the server, the first of them is armed to hang mid-point and is
+SIGKILLed once it holds a lease — the dropped connection must revoke
+the lease and requeue the point on a surviving worker — and the
+SIGTERM + restart of phase 2 must find the surviving workers
+re-registered via their reconnect backoff loop.  Lease grant/requeue/
+stale counts are printed for the CI job summary.
+
 Exit status is nonzero on the first violated invariant:
 
     PYTHONPATH=src python benchmarks/chaos_service.py --duplicates 50
+    PYTHONPATH=src python benchmarks/chaos_service.py --workers 2
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
 import json
 import os
 import pathlib
@@ -64,6 +75,23 @@ def spawn_server(port: int, env: dict) -> subprocess.Popen:
         env=env, cwd=REPO, start_new_session=True)
 
 
+def spawn_worker(port: int, env: dict, name: str) -> subprocess.Popen:
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", f"127.0.0.1:{port}",
+         "--name", name, "--quiet"],
+        env=env, cwd=REPO, start_new_session=True)
+    atexit.register(kill_hard, child)  # no leaked workers on any exit
+    return child
+
+
+def kill_hard(child: subprocess.Popen) -> None:
+    try:
+        os.killpg(child.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    child.wait(timeout=30)
+
+
 def wait_ready(port: int, timeout: float = 60.0) -> None:
     deadline = time.monotonic() + timeout
     while True:
@@ -88,6 +116,9 @@ def main() -> int:
     # skip the hang; crash recovery is covered by tests/test_faults.py.)
     parser.add_argument(
         "--faults", default="corrupt-cache:0.2,hang:p7:600")
+    # Fleet mode: N worker processes pull the points under leases; the
+    # first worker is armed to hang and gets SIGKILLed mid-lease.
+    parser.add_argument("--workers", type=int, default=0)
     args = parser.parse_args()
 
     points = [GridPoint("frontend", "compress", BASELINE, 4_000 + 500 * i)
@@ -104,14 +135,47 @@ def main() -> int:
             "REPRO_BACKOFF": "0.05",
             "REPRO_FAULTS": args.faults,
         })
+        if args.workers:
+            env["REPRO_LEASE_TTL"] = "10"
+            env["REPRO_HEARTBEAT"] = "0.5"
+        # Fleet workers never inherit the server's faults; the designated
+        # victim hangs on most of its leased points (hash-probability,
+        # so it wedges and holds a lease until the SIGKILL).
+        worker_env = {k: v for k, v in env.items() if k != "REPRO_FAULTS"}
+        victim_env = dict(worker_env, REPRO_FAULTS="hang:0.9:600")
+        workers = []
+
+        def fleet_status(client):
+            return client.status().get("fleet") or {}
+
+        def wait_status(client, predicate, what, timeout=60.0):
+            deadline = time.monotonic() + timeout
+            while not predicate():
+                if time.monotonic() >= deadline:
+                    raise SystemExit(f"timed out waiting for {what}")
+                time.sleep(0.05)
 
         # Phase 1: storm a faulty server, SIGTERM it mid-run.
         log(f"phase 1: {args.distinct} distinct + {args.duplicates} "
-            f"duplicate submissions under REPRO_FAULTS={args.faults}")
+            f"duplicate submissions under REPRO_FAULTS={args.faults}"
+            + (f" with {args.workers} fleet workers" if args.workers
+               else ""))
         server = spawn_server(port, env)
         try:
             wait_ready(port)
+            if args.workers:
+                workers.append(spawn_worker(port, victim_env, "chaos-w1"))
+                workers.extend(
+                    spawn_worker(port, worker_env, f"chaos-w{i}")
+                    for i in range(2, args.workers + 1))
             with ServiceClient("127.0.0.1", port, timeout=300) as client:
+                if args.workers:
+                    wait_status(
+                        client,
+                        lambda: len(fleet_status(client)["workers"])
+                        == args.workers,
+                        "fleet registration")
+                    log(f"{args.workers} workers registered")
                 ids = [client.submit_nowait([point]) for point in points]
                 ids += [client.submit_nowait([points[i % args.distinct]])
                         for i in range(args.duplicates)]
@@ -120,6 +184,26 @@ def main() -> int:
                     if time.monotonic() >= deadline:
                         raise SystemExit("no progress before SIGTERM")
                     time.sleep(0.05)
+                if args.workers:
+                    # The victim is wedged mid-hang on a lease it keeps
+                    # heartbeating; SIGKILL it and require the revoked
+                    # lease to requeue onto a survivor.
+                    wait_status(
+                        client,
+                        lambda: any(lease["worker"] == "chaos-w1"
+                                    for lease in
+                                    fleet_status(client)["leases"]),
+                        "the victim to hold a lease")
+                    log("SIGKILL chaos-w1 mid-lease")
+                    kill_hard(workers[0])
+                    wait_status(
+                        client,
+                        lambda: fleet_status(client)["requeued_total"] >= 1,
+                        "lease revocation + requeue")
+                    fleet = fleet_status(client)
+                    log(f"lease requeued after worker loss "
+                        f"(granted {fleet['granted_total']}, requeued "
+                        f"{fleet['requeued_total']})")
                 log("SIGTERM mid-run")
                 os.kill(server.pid, signal.SIGTERM)
                 answered = ok = retryable = rejected = 0
@@ -154,15 +238,26 @@ def main() -> int:
         if ok == 0:
             raise SystemExit("nothing completed before the kill")
 
-        # Phase 2: restart clean; journals + cache cover finished work.
+        # Phase 2: restart clean; journals + cache cover finished work,
+        # and surviving workers find the new server by themselves.
         env.pop("REPRO_FAULTS")
+        survivors = max(0, args.workers - 1)
         log("phase 2: restart without faults, resubmit the grid")
         server = spawn_server(port, env)
         try:
             wait_ready(port)
             with ServiceClient("127.0.0.1", port, timeout=300) as client:
+                if survivors:
+                    wait_status(
+                        client,
+                        lambda: len(fleet_status(client)["workers"])
+                        >= survivors,
+                        "surviving workers to reconnect")
+                    log(f"{survivors} surviving worker(s) re-registered "
+                        f"with the restarted server")
                 results = submit_with_retry(client, points, base=0.1)
                 counters = client.status()["counters"]
+                fleet = fleet_status(client)
         finally:
             try:
                 os.killpg(server.pid, signal.SIGTERM)
@@ -176,6 +271,15 @@ def main() -> int:
         if recomputed >= args.distinct:
             raise SystemExit("restart recomputed everything — the "
                              "journals/cache preserved nothing")
+        if args.workers:
+            members = ", ".join(
+                f"{w['worker']} completed={w['completed']}"
+                for w in fleet["workers"]) or "none"
+            log(f"fleet after restart: granted {fleet['granted_total']}, "
+                f"requeued {fleet['requeued_total']}, stale "
+                f"{fleet['stale_completions']}; members: {members}")
+            for child in workers:
+                kill_hard(child)
 
     # Phase 3: byte-identical to a clean serial computation.
     log("phase 3: clean serial recomputation (disk cache off)")

@@ -11,8 +11,15 @@ Commands:
 * ``serve`` — run the shared experiment service (async grid front door
   with admission control and request coalescing; see
   :mod:`repro.service`); drains gracefully on SIGTERM;
+  ``serve --status`` instead queries a running service and prints its
+  health, fleet membership and live leases;
+* ``worker`` — join a running service's worker fleet: pull grid points
+  under heartbeat-renewed leases, compute them locally, ship results
+  back; reconnects with backoff and drains on SIGTERM;
 * ``submit`` — submit one simulation to a running service and print the
-  headline numbers (retries with backoff when the service sheds load).
+  headline numbers (retries with backoff when the service sheds load);
+  ``--stream`` additionally subscribes to the service's event feed and
+  prints each per-point lifecycle transition as it happens.
 
 ``run --validate [MODE]`` and ``experiment --validate [MODE]`` arm the
 online divergence guard (:mod:`repro.validate`): every simulation also
@@ -288,12 +295,103 @@ def _render_experiment(name: str) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import serve
 
+    if args.status:
+        return _print_service_status(args.host, args.port)
     try:
         serve(args.host, args.port, jobs=args.jobs,
               admit_max=args.admit_max)
     except KeyboardInterrupt:
         # Abrupt but safe: completed points are journaled and cached.
         return 130
+    return 0
+
+
+def _print_service_status(host, port) -> int:
+    """``repro serve --status``: one query, human-readable tables."""
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(host, port, timeout=30.0) as client:
+            status = client.status()
+    except (ServiceError, OSError) as exc:
+        print(f"cannot reach the experiment service: {exc}", file=sys.stderr)
+        return 2
+    counters = status.get("counters", {})
+    fleet = status.get("fleet", {})
+    breaker = status.get("breaker", {})
+    fleet_breaker = status.get("fleet_breaker", {})
+    print(format_table(
+        ["Field", "Value"],
+        [["draining", status.get("draining")],
+         ["jobs", status.get("jobs")],
+         ["in flight", status.get("in_flight")],
+         ["computed ok / failed",
+          f"{counters.get('computed_ok')}/{counters.get('computed_failed')}"],
+         ["cache / journal hits",
+          f"{counters.get('cache_hits')}/{counters.get('journal_hits')}"],
+         ["coalesced", counters.get("coalesced")],
+         ["rejected", counters.get("rejected")],
+         ["pool breaker", breaker.get("state")],
+         ["fleet breaker", fleet_breaker.get("state")],
+         ["fleet workers", len(fleet.get("workers", []))],
+         ["live leases", len(fleet.get("leases", []))],
+         ["leases granted / requeued / stale",
+          f"{fleet.get('granted_total')}/{fleet.get('requeued_total')}"
+          f"/{fleet.get('stale_completions')}"]],
+        title="Experiment service"))
+    workers = fleet.get("workers", [])
+    if workers:
+        print()
+        print(format_table(
+            ["Worker", "Host", "PID", "Heartbeat age", "Leases",
+             "Completed", "Requeued", "Failed"],
+            [[w.get("worker"), w.get("host"), w.get("pid"),
+              f"{w.get('heartbeat_age', 0.0):.1f}s", w.get("leases"),
+              w.get("completed"), w.get("requeued"), w.get("failed")]
+             for w in workers],
+            title="Fleet membership"))
+    leases = fleet.get("leases", [])
+    if leases:
+        print()
+        print(format_table(
+            ["Lease", "Point", "Worker", "Age", "TTL left", "Attempt"],
+            [[l.get("lease"), str(l.get("key", ""))[:12] + "…",
+              l.get("worker"), f"{l.get('age', 0.0):.1f}s",
+              f"{l.get('ttl_remaining', 0.0):.1f}s", l.get("attempt")]
+             for l in leases],
+            title="Live leases"))
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.experiments import env
+    from repro.service.server import DEFAULT_ADDR
+    from repro.service.worker import FleetWorker
+
+    host = port = None
+    if args.addr:
+        default = env.get_hostport("REPRO_SERVICE_ADDR", DEFAULT_ADDR)
+        try:
+            host, port = env.parse_hostport(args.addr, default)
+        except ValueError as exc:
+            print(f"bad service address {args.addr!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    worker = FleetWorker(host, port, name=args.name,
+                         heartbeat=args.heartbeat,
+                         max_points=args.max_points,
+                         verbose=not args.quiet)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: worker.stop())
+        except (ValueError, OSError):
+            pass
+    worker.run()
+    print(f"worker {worker.name}: {worker.completed} completed, "
+          f"{worker.failed} failed, {worker.stale} stale, "
+          f"{worker.reconnects} reconnects", flush=True)
     return 0
 
 
@@ -309,8 +407,27 @@ def _cmd_submit(args) -> int:
                       args.benchmark, config, n=args.instructions)
     try:
         with ServiceClient(args.host, args.port) as client:
-            results = submit_with_retry(client, [point],
-                                        deadline=args.deadline)
+            if args.stream:
+                # Subscribe first so even the queued event is captured,
+                # then pipeline the submission and narrate its lifecycle
+                # until the answer lands.
+                sub = client.subscribe()
+                request = client.submit_nowait([point],
+                                               deadline=args.deadline)
+                for event in client.events(sub, until=request):
+                    worker = event.get("worker")
+                    line = f"[{event.get('seq')}] {event.get('event')}"
+                    if worker:
+                        line += f" on {worker}"
+                    if event.get("reason"):
+                        line += f" ({event['reason']})"
+                    if event.get("elapsed") is not None:
+                        line += f" in {event['elapsed']}s"
+                    print(line, flush=True)
+                results = client.result(request)
+            else:
+                results = submit_with_retry(client, [point],
+                                            deadline=args.deadline)
     except ServiceOverloaded as exc:
         print(f"service overloaded, gave up: {exc}", file=sys.stderr)
         return 3
@@ -406,6 +523,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max in-flight computations before submissions "
                             "are rejected (default: REPRO_ADMIT_MAX or "
                             "4x jobs)")
+    serve.add_argument("--status", action="store_true",
+                       help="query a running service instead of starting "
+                            "one: print health, fleet membership, live "
+                            "leases and per-worker counters")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a running service's worker fleet (drains on SIGTERM)")
+    worker.add_argument("addr", nargs="?", default=None,
+                        help="service address as HOST:PORT, :PORT or PORT "
+                             "(default: REPRO_SERVICE_ADDR)")
+    worker.add_argument("--name", default=None,
+                        help="worker identity shown in status and events "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--heartbeat", type=float, default=None,
+                        help="lease renewal interval in seconds (default: "
+                             "the server's REPRO_HEARTBEAT)")
+    worker.add_argument("--max-points", type=int, default=None,
+                        help="exit after completing this many points "
+                             "(default: run until stopped)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-lease progress lines")
 
     submit = sub.add_parser(
         "submit", help="run one simulation through a running service")
@@ -428,6 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--port", type=int, default=None)
     submit.add_argument("--deadline", type=float, default=None,
                         help="wall-clock budget in seconds for the request")
+    submit.add_argument("--stream", action="store_true",
+                        help="subscribe to the service's event feed and "
+                             "print each lifecycle transition (queued/"
+                             "leased/started/retried/diverged/completed) "
+                             "while waiting for the result")
 
     replay = sub.add_parser(
         "validate-replay",
@@ -450,6 +594,8 @@ def main(argv=None) -> int:
         return _cmd_validate_replay(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
     return _cmd_experiment(args)

@@ -84,6 +84,9 @@ class Journal:
         self.path = checkpoint_dir() / f"{grid_key(keys)}{_SUFFIX}"
         self._handle = None
         self._broken = not enabled()
+        #: lines appended by this process (service status surfaces the
+        #: aggregate so operators can see journaling is actually live).
+        self.recorded = 0
 
     def load(self) -> Dict[str, Tuple[str, Dict[str, Any]]]:
         """Replay the journal: ``{point key: (kind, payload dict)}``.
@@ -152,8 +155,11 @@ class Journal:
         written bytes); fsync-per-point would only add power-loss
         durability at a real cost on large grids.  Any write failure
         disables the journal for the rest of the run, with one warning.
+        Keys outside this grid are refused — the replay side would filter
+        them anyway, so recording one is always a caller bug and would
+        only bloat the journal.
         """
-        if self._broken:
+        if self._broken or key not in self._keys:
             return
         try:
             if self._handle is None:
@@ -164,6 +170,7 @@ class Journal:
                  "kind": kind, "payload": payload},
                 sort_keys=True, separators=(",", ":")) + "\n")
             self._handle.flush()
+            self.recorded += 1
         except (OSError, ValueError, TypeError):
             self._broken = True
             self.close()

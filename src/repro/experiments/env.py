@@ -83,25 +83,31 @@ def get_float(name: str, default: Optional[float]) -> Optional[float]:
         return default
 
 
-def get_hostport(name: str, default: Tuple[str, int]) -> Tuple[str, int]:
-    """``host:port`` knob (``REPRO_SERVICE_ADDR``): unparseable warns once.
+def parse_hostport(raw: str, default: Tuple[str, int]) -> Tuple[str, int]:
+    """Parse a service address; raises ValueError on a bad port.
 
-    Accepts ``host:port``, a bare ``:port`` (binds the default host) and
+    Accepts ``host:port``, a bare ``:port`` (uses the default host) and
     a bare ``port``.  Port 0 is legal — it asks the OS for an ephemeral
     port, which the service reports after binding (test harnesses rely
-    on this).
+    on this).  Shared by the ``REPRO_SERVICE_ADDR`` knob and the
+    positional address argument of ``repro worker``.
     """
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
     host, _, port_text = raw.rpartition(":")
     if not host:
         host = default[0]
+    port = int(port_text)
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range: {port}")
+    return host, port
+
+
+def get_hostport(name: str, default: Tuple[str, int]) -> Tuple[str, int]:
+    """``host:port`` knob (``REPRO_SERVICE_ADDR``): unparseable warns once."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
     try:
-        port = int(port_text)
-        if not 0 <= port <= 65535:
-            raise ValueError(port)
+        return parse_hostport(raw, default)
     except ValueError:
         _warn_invalid(name, raw, default)
         return default
-    return host, port

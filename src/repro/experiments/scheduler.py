@@ -226,6 +226,19 @@ estimated_cost = _estimated_cost
 point_key = _point_key
 
 
+def cost_scale(point: GridPoint) -> float:
+    """Per-point timeout/lease multiplier relative to the reference cost.
+
+    A point estimated at :data:`faults.COST_REFERENCE` simulated
+    instructions gets scale 1.0; heavier points get proportionally more
+    budget and lighter ones never get less than the base.  The
+    supervisor, the service's pooled dispatch, and fleet lease TTLs all
+    share this factor so one knob setting means the same thing on every
+    execution path.
+    """
+    return max(1.0, _estimated_cost(point) / faults.COST_REFERENCE)
+
+
 def deadline_point_timeout(points: Sequence[GridPoint],
                            deadline: Optional[float]) -> Optional[float]:
     """Base per-point timeout so a grid's budgets sum to ``deadline``.
@@ -241,9 +254,7 @@ def deadline_point_timeout(points: Sequence[GridPoint],
     """
     if deadline is None or deadline <= 0 or not points:
         return None
-    total_scale = sum(
-        max(1.0, _estimated_cost(point) / faults.COST_REFERENCE)
-        for point in points)
+    total_scale = sum(cost_scale(point) for point in points)
     if total_scale <= 0:
         return None
     return deadline / total_scale
@@ -345,6 +356,13 @@ def _run_point_task(point: GridPoint, ordinal: int, attempt: int, key: str,
     faults.inject_after(key, ordinal, attempt,
                         cache_path=diskcache.entry_path(key))
     return result
+
+
+#: Public aliases for the experiment service and fleet workers, which
+#: execute individual points (with the same fault-injection hooks the
+#: local pool gets) outside a grid supervisor.
+run_point = _run_point
+run_point_task = _run_point_task
 
 
 def _admit(point: GridPoint, result) -> None:

@@ -25,6 +25,11 @@ Standard three-state machine:
 The breaker is driven from one asyncio event loop, so plain attributes
 are race-free; time comes from an injectable monotonic clock so tests
 can step it deterministically.
+
+The service runs two instances of this machine: one named ``"pool"``
+guarding the local process pool, and one named ``"fleet"`` guarding
+dispatch to remote workers (a flapping fleet degrades to the local pool
+exactly the way a crashing pool degrades to inline execution).
 """
 
 from __future__ import annotations
@@ -50,7 +55,9 @@ class CircuitBreaker:
 
     def __init__(self, threshold: int = DEFAULT_THRESHOLD,
                  cooldown: float = DEFAULT_COOLDOWN,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "pool"):
+        self.name = name
         self.threshold = max(1, threshold)
         self.cooldown = max(0.0, cooldown)
         self._clock = clock
@@ -102,6 +109,7 @@ class CircuitBreaker:
     def stats(self) -> Dict[str, object]:
         """Introspection snapshot for the service ``status`` reply."""
         return {
+            "name": self.name,
             "state": self.state,
             "strikes": self._strikes,
             "threshold": self.threshold,

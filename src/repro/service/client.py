@@ -18,11 +18,13 @@ into capped exponential backoff with full jitter (decorrelated clients
 
 from __future__ import annotations
 
+import collections
 import itertools
 import random
 import socket
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple
 
 from repro.experiments import env
 from repro.experiments.scheduler import GridPoint
@@ -79,6 +81,11 @@ class ServiceClient:
         self._file = None
         self._ids = itertools.count(1)
         self._pending: Dict[Any, Dict[str, Any]] = {}
+        # Event messages share a subscription's id across many lines,
+        # so they cannot live in _pending (one slot per id): they queue
+        # here in arrival order until events() consumes them.
+        self._events: "collections.deque[Dict[str, Any]]" = \
+            collections.deque()
 
     # ------------------------------------------------------------ plumbing
 
@@ -95,6 +102,7 @@ class ServiceClient:
         file, self._file = self._file, None
         sock, self._sock = self._sock, None
         self._pending.clear()
+        self._events.clear()
         for closer in (file, sock):
             if closer is not None:
                 try:
@@ -137,6 +145,9 @@ class ServiceClient:
                 self.close()
                 raise ServiceError("connection closed by the service")
             reply = protocol.decode(line)
+            if reply.get("type") == "event":
+                self._events.append(reply)
+                continue
             if reply.get("id") == request_id:
                 return reply
             if reply.get("id") is not None:
@@ -205,6 +216,73 @@ class ServiceClient:
         """Submit one grid and block for its results."""
         return self.result(self.submit_nowait(points, deadline), raw=raw)
 
+    # ------------------------------------------------------------- events
+
+    def subscribe(self, keys: Optional[Iterable[str]] = None) -> Any:
+        """Open a progress-event feed on this connection.
+
+        Returns the subscription id — pass it to :meth:`events` to
+        iterate the feed and to :meth:`unsubscribe` to close it.  With
+        ``keys``, only events for those point cache keys are delivered;
+        without, the feed carries every event the service emits
+        (including fleet membership changes).
+        """
+        message: Dict[str, Any] = {"op": "subscribe"}
+        if keys is not None:
+            message["keys"] = list(keys)
+        sub_id = self._send(message)
+        reply = self._wait(sub_id)
+        if reply.get("type") != "subscribed":
+            raise ServiceError(
+                f"subscribe failed: {reply.get('error') or reply}")
+        return sub_id
+
+    def unsubscribe(self, sub_id: Any) -> None:
+        """Close one event feed (buffered events remain readable)."""
+        self._wait(self._send({"op": "unsubscribe", "subscription": sub_id}))
+
+    def events(self, sub_id: Any,
+               until: Any = None) -> Iterator[Dict[str, Any]]:
+        """Yield event dicts from one subscription, in delivery order.
+
+        Each yielded dict carries ``seq`` (hub-global, monotonically
+        increasing), ``event`` (``queued``/``leased``/``started``/
+        ``retried``/``diverged``/``completed``/``failed``/...), usually
+        ``key``, and per-event fields such as ``worker`` and timing.
+
+        With ``until=<request id>``, the iterator returns once the
+        reply for that request arrives — the reply is stashed so a
+        following :meth:`result` call still observes it.  This is the
+        ``repro submit --stream`` shape: subscribe, pipeline the
+        submission, stream events until the answer lands, collect it.
+        Without ``until``, iterate until the peer closes or the caller
+        breaks out.
+        """
+        while True:
+            while self._events:
+                message = self._events.popleft()
+                if message.get("id") == sub_id:
+                    yield message.get("data") or {}
+            if until is not None and until in self._pending:
+                return
+            if self._file is None:
+                return
+            try:
+                line = self._file.readline(protocol.MAX_LINE + 1)
+            except OSError as exc:
+                self.close()
+                raise ServiceError(f"read failed: {exc}") from None
+            if not line:
+                self.close()
+                if until is None:
+                    return
+                raise ServiceError("connection closed by the service")
+            reply = protocol.decode(line)
+            if reply.get("type") == "event":
+                self._events.append(reply)
+            elif reply.get("id") is not None:
+                self._pending[reply["id"]] = reply
+
 
 def submit_with_retry(client: ServiceClient, points: Sequence[GridPoint],
                       *, deadline: Optional[float] = None,
@@ -215,10 +293,13 @@ def submit_with_retry(client: ServiceClient, points: Sequence[GridPoint],
     """Submit with capped exponential backoff on explicit rejection.
 
     The delay before retry *n* is drawn uniformly from
-    ``[0, min(cap, max(retry_after, base * 2^n))]`` — full jitter, so a
-    thousand rejected clients decorrelate instead of hammering the
-    service again in lockstep.  Only :class:`ServiceOverloaded` is
-    retried; real failures propagate immediately.
+    ``[retry_after, min(cap, max(retry_after, base * 2^n))]`` — the
+    server's ``retry_after`` hint is the *floor* (retrying sooner than
+    the server asked is guaranteed to be rejected again), and the
+    jittered headroom above it decorrelates a thousand rejected clients
+    instead of letting them hammer the service again in lockstep.  Only
+    :class:`ServiceOverloaded` is retried; real failures propagate
+    immediately.
     """
     rng = rng if rng is not None else random.Random()
     last: Optional[ServiceOverloaded] = None
@@ -228,6 +309,7 @@ def submit_with_retry(client: ServiceClient, points: Sequence[GridPoint],
         except ServiceOverloaded as exc:
             last = exc
             ceiling = min(cap, max(exc.retry_after, base * (2 ** attempt)))
-            sleep(rng.uniform(0.0, ceiling))
+            floor = min(max(0.0, exc.retry_after), ceiling)
+            sleep(floor + rng.uniform(0.0, max(0.0, ceiling - floor)))
     assert last is not None
     raise last

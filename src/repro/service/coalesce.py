@@ -27,6 +27,7 @@ The table is only touched from the server's event loop; no locking.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments import diskcache
@@ -35,7 +36,8 @@ from repro.experiments import diskcache
 class Entry:
     """One in-flight computation: a shared future plus bookkeeping."""
 
-    __slots__ = ("key", "point", "future", "subscribers", "engine")
+    __slots__ = ("key", "point", "future", "subscribers", "engine",
+                 "worker", "created_at")
 
     def __init__(self, key: str, point: Any,
                  loop: asyncio.AbstractEventLoop):
@@ -50,6 +52,12 @@ class Entry:
         self.subscribers = 0
         #: pinned execution engine after a divergence ("reference").
         self.engine: Optional[str] = None
+        #: identity of whoever last ran the point ("inline", "pool", or
+        #: a fleet worker id) — carried on completion/failure events.
+        self.worker: Optional[str] = None
+        #: wall-clock creation time; event timestamps and the elapsed
+        #: figure on ``completed`` events are measured from here.
+        self.created_at: float = time.time()
 
 
 class CoalesceTable:

@@ -1,0 +1,172 @@
+"""Per-point progress event stream for service subscribers.
+
+Until this module, a submission's first and only answer arrived at
+completion — fine for a CI shard, useless for an operator watching a
+three-hour grid fan out across a worker fleet.  A client can now send a
+``subscribe`` op on its existing connection and receive one ``event``
+message per lifecycle transition of every in-flight point (optionally
+filtered to a key set): ``queued``, ``leased``, ``started``,
+``retried``, ``diverged``, ``completed``, ``failed``, plus fleet
+membership changes (``worker-joined`` / ``worker-lost``).  Each event
+carries the point key, the identity of whoever is running it (a fleet
+worker id, ``"pool"`` or ``"inline"``), a wall-clock timestamp, and a
+hub-global sequence number so interleaved streams can be totally
+ordered after the fact.
+
+Delivery design:
+
+* **Emit never blocks the event loop.**  ``emit`` is synchronous: it
+  fans the event out to per-subscription bounded queues and returns.  A
+  dedicated sender task per subscription drains its queue through the
+  connection's write lock, so one slow consumer's TCP backpressure
+  stalls only its own stream.
+* **Lossy under sustained lag, and says so.**  When a subscription's
+  queue overflows, the oldest buffered event is dropped to make room
+  and the subscriber's next delivered event carries a ``dropped``
+  count — a lagging dashboard loses intermediate transitions, never the
+  fact that it lost them.  Terminal answers are unaffected: results
+  still travel on the request/reply path.
+* Subscriptions die with their connection (the server calls
+  :meth:`EventHub.drop_connection` from the same teardown that releases
+  coalesce subscribers), so an abandoned stream cannot leak a queue or
+  a task.
+
+The hub is touched only from the server's event loop; no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+#: Event types, in lifecycle order for one point.
+QUEUED = "queued"          #: entry created; computation will be spawned
+LEASED = "leased"          #: a fleet worker claimed the point
+STARTED = "started"        #: execution actually began (worker/pool/inline)
+RETRIED = "retried"        #: an attempt failed retryably; another follows
+DIVERGED = "diverged"      #: divergence detected; re-running on reference
+COMPLETED = "completed"    #: terminal success (result stored and answered)
+FAILED = "failed"          #: terminal failure (error answered)
+
+#: Fleet membership events (no point key).
+WORKER_JOINED = "worker-joined"
+WORKER_LOST = "worker-lost"
+
+#: Per-subscription queue depth.  Events are tens of bytes; 1024 of
+#: them buffer several seconds of a busy grid before lag turns lossy.
+MAX_QUEUE = 1024
+
+
+class _Subscription:
+    """One client's event feed: filter, bounded queue, sender task."""
+
+    __slots__ = ("conn", "sub_id", "keys", "queue", "task", "dropped")
+
+    def __init__(self, conn: Any, sub_id: Any,
+                 keys: Optional[Iterable[str]]):
+        self.conn = conn
+        self.sub_id = sub_id
+        self.keys = frozenset(keys) if keys else None
+        self.queue: "asyncio.Queue[Dict[str, Any]]" = \
+            asyncio.Queue(maxsize=MAX_QUEUE)
+        self.task: Optional[asyncio.Task] = None
+        self.dropped = 0
+
+    def wants(self, event: Dict[str, Any]) -> bool:
+        """Filtered subscriptions see only their keys' point events."""
+        if self.keys is None:
+            return True
+        return event.get("key") in self.keys
+
+
+class EventHub:
+    """Fan-out point: every service event flows through one hub."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[Tuple[int, Any], _Subscription] = {}
+        self._seq = 0
+        self.emitted_total = 0
+        self.delivered_total = 0
+        self.dropped_total = 0
+
+    def subscribe(self, conn: Any, sub_id: Any,
+                  keys: Optional[Iterable[str]] = None) -> None:
+        """Attach a feed to ``conn``; events are tagged with ``sub_id``.
+
+        ``sub_id`` is the id of the ``subscribe`` request itself, so the
+        client can demultiplex event messages from request replies on
+        the shared connection.
+        """
+        sub = _Subscription(conn, sub_id, keys)
+        sub.task = asyncio.get_running_loop().create_task(self._sender(sub))
+        self._subs[(id(conn), sub_id)] = sub
+
+    def unsubscribe(self, conn: Any, sub_id: Any) -> bool:
+        """Detach one feed; returns whether it existed."""
+        sub = self._subs.pop((id(conn), sub_id), None)
+        if sub is None:
+            return False
+        if sub.task is not None:
+            sub.task.cancel()
+        return True
+
+    def drop_connection(self, conn: Any) -> None:
+        """Connection teardown: cancel every feed it owned."""
+        for conn_id, sub_id in [key for key in self._subs
+                                if key[0] == id(conn)]:
+            self.unsubscribe(conn, sub_id)
+
+    def emit(self, event: str, key: Optional[str] = None,
+             **fields: Any) -> None:
+        """Publish one event to every interested subscription.
+
+        Synchronous and allocation-light when nobody is listening: the
+        sequence counter still advances (so sequence numbers are
+        globally meaningful regardless of when a subscriber attached),
+        but no event dict is built.
+        """
+        self._seq += 1
+        self.emitted_total += 1
+        if not self._subs:
+            return
+        message: Dict[str, Any] = {
+            "seq": self._seq, "event": event, "time": time.time()}
+        if key is not None:
+            message["key"] = key
+        message.update(fields)
+        for sub in list(self._subs.values()):
+            if not sub.wants(message):
+                continue
+            try:
+                sub.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                # Shed the oldest buffered event; the subscriber learns
+                # about the gap via the "dropped" count on this one.
+                try:
+                    sub.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                sub.dropped += 1
+                self.dropped_total += 1
+                sub.queue.put_nowait(dict(message, dropped=sub.dropped))
+
+    async def _sender(self, sub: _Subscription) -> None:
+        """Drain one subscription's queue onto its connection."""
+        while True:
+            message = await sub.queue.get()
+            payload = {"id": sub.sub_id, "type": "event", "data": message}
+            await sub.conn.send(payload)
+            if not sub.conn.alive:
+                self.unsubscribe(sub.conn, sub.sub_id)
+                return
+            self.delivered_total += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Introspection counters for the service ``status`` reply."""
+        return {
+            "subscriptions": len(self._subs),
+            "emitted_total": self.emitted_total,
+            "delivered_total": self.delivered_total,
+            "dropped_total": self.dropped_total,
+        }

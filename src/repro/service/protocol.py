@@ -18,6 +18,29 @@ Requests (``op`` selects the verb):
 * ``{"id": .., "op": "ping"}`` — liveness probe.
 * ``{"id": .., "op": "drain"}`` — begin graceful drain (what SIGTERM
   triggers); mainly for tests and orchestration glue.
+* ``{"id": .., "op": "subscribe", "keys": [..]?}`` — open a progress
+  event feed on this connection (optionally filtered to point keys).
+  The ``subscribed`` ack echoes the id; thereafter every event arrives
+  as ``{"id": <same id>, "type": "event", "data": {..}}`` until an
+  ``unsubscribe`` op (``"subscription": <id>``) or disconnect.
+
+Fleet worker verbs (sent by ``repro worker`` processes):
+
+* ``{"id": .., "op": "worker-register", "name", "host", "pid",
+  "kinds", "cost_rate"?}`` — join the fleet; the ``registered`` ack
+  carries the server-chosen ``heartbeat`` interval and base
+  ``lease_ttl``.
+* ``{"id": .., "op": "worker-poll", "window": ..}`` — long-poll for
+  work; answered with ``lease`` (the point, its lease id, TTL and
+  pinned engine), ``idle`` (window elapsed empty) or ``draining``.
+* ``{"op": "worker-heartbeat", "leases": [..]}`` /
+  ``{"op": "worker-started", "lease": ..}`` — one-way notifications
+  (no id, no reply): deadline renewal and compute-start marking.
+* ``{"id": .., "op": "worker-complete", "lease", "key", "payload",
+  "elapsed"}`` / ``{"id": .., "op": "worker-fail", "lease", "key",
+  "error", "failure"}`` — ship the outcome; the ack's ``accepted``
+  flag is False for a stale (already-revoked) lease, which the worker
+  treats as "the server moved on" and simply polls again.
 
 Responses (``type`` selects the shape): ``done`` carries one entry per
 submitted point in submission order — ``{"key", "kind", "status":

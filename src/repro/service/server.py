@@ -37,6 +37,14 @@ better, because the service adds four things the library cannot:
   client with explicit retryable errors and leaves each submission's
   checkpoint journal on disk — a restarted service recomputes only the
   unjournaled remainder, byte-identical to a clean run.
+* **A worker fleet** (:mod:`repro.service.fleet`): remote ``repro
+  worker`` processes pull points under heartbeat-renewed leases over
+  the same protocol.  The dispatcher prefers the fleet when it has at
+  least ``REPRO_FLEET_MIN`` live workers and its own circuit breaker is
+  closed, then degrades to the local pool and finally inline — a lost
+  worker revokes its leases and the points are requeued transparently.
+  Per-point lifecycle events stream to ``subscribe``-d clients through
+  :mod:`repro.service.events`.
 
 Every submission runs under a grid checkpoint journal
 (:mod:`repro.experiments.checkpoint`) keyed by its content-hashed point
@@ -52,14 +60,19 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments import (checkpoint, diskcache, env, faults, runner,
                                scheduler, warnonce)
+from repro.service import events as events_mod
+from repro.service import fleet as fleet_mod
 from repro.service import protocol
 from repro.service.breaker import CircuitBreaker
 from repro.service.coalesce import CoalesceTable, Entry
+from repro.service.events import EventHub
+from repro.service.fleet import Fleet
 
 #: Default bind address when ``REPRO_SERVICE_ADDR`` is unset.
 DEFAULT_ADDR = ("127.0.0.1", 8753)
@@ -111,7 +124,11 @@ class ExperimentService:
                  admit_max: Optional[int] = None,
                  client_backlog: Optional[int] = None,
                  drain_grace: Optional[float] = None,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 fleet_breaker: Optional[CircuitBreaker] = None,
+                 lease_ttl: Optional[float] = None,
+                 heartbeat: Optional[float] = None,
+                 fleet_min: Optional[int] = None):
         default_host, default_port = env.get_hostport(
             "REPRO_SERVICE_ADDR", DEFAULT_ADDR)
         self.host = default_host if host is None else host
@@ -127,6 +144,11 @@ class ExperimentService:
             drain_grace = env.get_float("REPRO_DRAIN_GRACE", 30.0)
         self._drain_grace = max(0.0, drain_grace or 0.0)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.fleet_breaker = fleet_breaker if fleet_breaker is not None \
+            else CircuitBreaker(name="fleet")
+        self.hub = EventHub()
+        self.fleet = Fleet(lease_ttl=lease_ttl, heartbeat=heartbeat,
+                           min_workers=fleet_min, hub=self.hub)
         self.table = CoalesceTable()
         #: Admitted-but-not-yet-attached new keys, counted against the
         #: admission window so concurrent submissions (whose preparation
@@ -144,6 +166,7 @@ class ExperimentService:
         self._conn_tasks: set = set()
         self._connections: set = set()
         self._draining = False
+        self._reaper_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopped = asyncio.Event()
@@ -170,6 +193,7 @@ class ExperimentService:
             self._loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
         except (NotImplementedError, RuntimeError, ValueError, OSError):
             pass  # non-main thread or platform without loop signals
+        self._reaper_task = self._loop.create_task(self._reap_leases())
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -193,6 +217,9 @@ class ExperimentService:
         if self._draining:
             return
         self._draining = True
+        # Stop leasing first: idle worker polls answer "draining" so the
+        # fleet disperses while in-flight leases use the grace window.
+        self.fleet.begin_drain()
         assert self._loop is not None
         self._loop.create_task(self._drain())
 
@@ -209,7 +236,11 @@ class ExperimentService:
                 await asyncio.wait(pending, timeout=5.0)
         # Whatever did not finish inside the grace window answers its
         # waiting submissions with an explicit retryable error; their
-        # journals keep every point that *did* complete.
+        # journals keep every point that *did* complete.  Leases that
+        # outlived the grace are revoked the same way — their workers'
+        # eventual completions will be counted stale and dropped.
+        self.fleet.fail_pending(ServiceDraining(
+            "service draining; leased points are requeued on resubmit"))
         self.table.fail_all(ServiceDraining(
             "service draining; completed points are journaled — resubmit"))
         await self._break_pool(self._pool_generation)
@@ -230,8 +261,21 @@ class ExperimentService:
             await asyncio.wait(handlers, timeout=5.0)
         self._stopped.set()
 
+    async def _reap_leases(self) -> None:
+        """Background task: expire leases whose heartbeats stopped."""
+        while True:
+            await asyncio.sleep(self.fleet.reap_interval)
+            self.fleet.reap()
+
     async def aclose(self) -> None:
         """Release sockets and the pool (after ``serve_forever`` returns)."""
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reaper_task = None
         if self._server is not None:
             self._server.close()
             try:
@@ -283,8 +327,7 @@ class ExperimentService:
             raise BrokenExecutor(str(exc)) from None
         scaled = None
         if timeout is not None and timeout > 0:
-            scaled = timeout * max(
-                1.0, scheduler.estimated_cost(point) / faults.COST_REFERENCE)
+            scaled = timeout * scheduler.cost_scale(point)
         try:
             return await asyncio.wait_for(asyncio.wrap_future(future), scaled)
         except asyncio.TimeoutError:
@@ -296,6 +339,40 @@ class ExperimentService:
             await self._break_pool(generation)
             raise
 
+    async def _run_fleet(self, entry: Entry, attempt: int,
+                         timeout: Optional[float]):
+        """Dispatch one point to a fleet worker and await its result.
+
+        The offer's cost-scaled wait deadline mirrors the pooled path's;
+        blowing it (a worker that heartbeats but never finishes) cancels
+        the offer — any late completion is counted stale — and raises
+        :class:`~repro.service.fleet.LeaseRevoked` so the dispatcher
+        retries the point elsewhere.
+        """
+        ordinal = self._ordinal
+        self._ordinal += 1
+        offer = self.fleet.offer(entry, attempt=attempt, ordinal=ordinal)
+        scaled = None
+        if timeout is not None and timeout > 0:
+            scaled = timeout * scheduler.cost_scale(entry.point)
+        try:
+            payload, worker_id, _elapsed = await asyncio.wait_for(
+                offer.future, scaled)
+        except asyncio.TimeoutError:
+            self.fleet.cancel(offer, reason="cost-scaled deadline")
+            raise fleet_mod.LeaseRevoked(
+                f"leased point exceeded its {scaled:.1f}s cost-scaled "
+                "deadline") from None
+        except asyncio.CancelledError:
+            self.fleet.cancel(offer, reason="cancelled")
+            raise
+        entry.worker = worker_id
+        # The worker serialized its result for the wire; rebuilding it
+        # here hands _drive a normal result object so admission stores
+        # it under this server's cache exactly like a pooled result
+        # (remote workers need not share a filesystem with the server).
+        return protocol.result_from_payload(entry.point.kind, payload)
+
     async def _compute(self, entry: Entry, timeout: Optional[float]):
         """Run one point to a result under the supervision policy.
 
@@ -304,20 +381,43 @@ class ExperimentService:
         attempt; a deterministic failure gets exactly one inline re-run
         (the safe floor — injected faults never fire in the parent);
         transient failures and timeouts retry with exponential backoff
-        up to ``max(REPRO_RETRIES, breaker threshold)`` so a breaker
+        up to ``max(REPRO_RETRIES, breaker thresholds)`` so a breaker
         that is about to trip still has attempts left to finish the
         point inline.
+
+        Route preference per attempt: the worker fleet (when it has
+        ``REPRO_FLEET_MIN`` live members and its breaker is closed),
+        then the local pool, then inline.  A revoked lease or a
+        worker-reported transient/timeout strikes the *fleet* breaker —
+        a flapping fleet degrades to the pool the same way a crashing
+        pool degrades to inline — while pool failures keep striking the
+        pool breaker as before.
         """
         max_retries = max(faults.resolve_retries(None),
-                          self.breaker.threshold)
+                          self.breaker.threshold,
+                          self.fleet_breaker.threshold)
         backoff = faults.resolve_backoff()
         attempt = 0
         inline_pinned = False
         while True:
             inline = (inline_pinned or self._jobs <= 1
                       or not self.breaker.allow_pool())
+            if (not inline_pinned and self.fleet.available()
+                    and self.fleet_breaker.allow_pool()):
+                route = "fleet"
+            elif inline:
+                route = "inline"
+            else:
+                route = "pool"
             try:
-                if inline:
+                if route == "fleet":
+                    result = await self._run_fleet(entry, attempt, timeout)
+                    self.fleet_breaker.record_success()
+                    return result
+                entry.worker = route
+                self.hub.emit(events_mod.STARTED, key=entry.key,
+                              worker=route, attempt=attempt)
+                if route == "inline":
                     return await asyncio.to_thread(
                         scheduler._run_point, entry.point, entry.engine)
                 result = await self._run_pooled(entry, attempt, timeout)
@@ -326,22 +426,35 @@ class ExperimentService:
             except asyncio.CancelledError:
                 raise
             except BaseException as exc:
-                kind = faults.classify(exc)
+                kind = fleet_mod.failure_kind(exc)
                 if kind == faults.DIVERGENCE:
                     if entry.engine is None:
                         entry.engine = "reference"
+                        self.hub.emit(events_mod.DIVERGED, key=entry.key,
+                                      worker=entry.worker, attempt=attempt)
                         continue  # no attempt consumed: degrade, don't retry
                     raise
                 if kind == faults.DETERMINISTIC:
-                    if inline:
+                    if route == "inline":
                         raise  # already at the floor: the failure is real
                     inline_pinned = True  # one clean in-parent re-run
+                    self.hub.emit(events_mod.RETRIED, key=entry.key,
+                                  worker=entry.worker, attempt=attempt,
+                                  reason=kind)
                     continue
-                if kind == faults.TIMEOUT or isinstance(exc, BrokenExecutor):
+                if route == "fleet":
+                    # The point never reached the local pool; the fault
+                    # is in the fleet (lost worker, remote transient).
+                    self.fleet_breaker.record_break()
+                elif kind == faults.TIMEOUT or isinstance(exc,
+                                                          BrokenExecutor):
                     self.breaker.record_break()
                 attempt += 1
                 if attempt > max_retries:
                     raise
+                self.hub.emit(events_mod.RETRIED, key=entry.key,
+                              worker=entry.worker, attempt=attempt,
+                              reason=kind, error=faults.format_error(exc))
                 delay = faults.backoff_delay(backoff, attempt)
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -356,6 +469,9 @@ class ExperimentService:
             await asyncio.to_thread(scheduler._admit, entry.point, result)
             payload = protocol.result_to_payload(entry.point.kind, result)
             self.counters["computed_ok"] += 1
+            self.hub.emit(events_mod.COMPLETED, key=entry.key,
+                          worker=entry.worker, kind=entry.point.kind,
+                          elapsed=round(time.time() - entry.created_at, 3))
             if not entry.future.done():
                 entry.future.set_result(payload)
         except asyncio.CancelledError:
@@ -364,8 +480,11 @@ class ExperimentService:
                     "computation cancelled by service drain"))
             raise
         except BaseException as exc:
-            kind = faults.classify(exc)
+            kind = fleet_mod.failure_kind(exc)
             self.counters["computed_failed"] += 1
+            self.hub.emit(events_mod.FAILED, key=entry.key,
+                          worker=entry.worker, failure=kind,
+                          error=faults.format_error(exc))
             if not entry.future.done():
                 entry.future.set_exception(PointComputationError(
                     faults.format_error(exc), kind,
@@ -498,6 +617,9 @@ class ExperimentService:
                     entry, created = self.table.attach(key, point, loop)
                     if created:
                         to_compute.append(entry)
+                        self.hub.emit(events_mod.QUEUED, key=key,
+                                      kind=point.kind,
+                                      benchmark=point.benchmark)
                     else:
                         self.counters["coalesced"] += 1
                     waits.append((index, point, key, entry))
@@ -595,10 +717,75 @@ class ExperimentService:
         await asyncio.to_thread(journal.record, key, point.kind, payload)
         return {**base, "status": "ok", "payload": payload}
 
+    # ----------------------------------------------------- fleet op glue
+
+    async def _handle_worker_poll(self, conn: _Connection, reply_id: Any,
+                                  message: Dict[str, Any]) -> None:
+        """Long-poll answer: ``lease`` / ``idle`` / ``draining``."""
+        handle = self.fleet.handle_for(conn)
+        if handle is None:
+            await conn.send({"id": reply_id, "type": "error",
+                             "error": "worker-poll before worker-register"})
+            return
+        window = message.get("window")
+        if not isinstance(window, (int, float)) or isinstance(window, bool):
+            window = 10.0
+        lease = await self.fleet.poll(handle, float(window))
+        if lease is None:
+            kind = "draining" if self.fleet.draining else "idle"
+            await conn.send({"id": reply_id, "type": kind})
+            return
+        offer = lease.offer
+        await conn.send({
+            "id": reply_id, "type": "lease", "lease": lease.lease_id,
+            "key": offer.entry.key,
+            "point": protocol.point_to_dict(offer.entry.point),
+            "engine": offer.entry.engine,
+            "ttl": offer.ttl,
+            "attempt": offer.attempt,
+            "ordinal": offer.ordinal,
+        })
+
+    async def _handle_worker_complete(self, conn: _Connection,
+                                      reply_id: Any,
+                                      message: Dict[str, Any]) -> None:
+        """Accept (or count stale) one worker's shipped result."""
+        handle = self.fleet.handle_for(conn)
+        accepted = False
+        if handle is not None:
+            payload = message.get("payload")
+            if isinstance(payload, dict):
+                accepted = self.fleet.complete(
+                    handle, message.get("lease"), payload,
+                    message.get("elapsed"))
+            else:
+                self.fleet.fail(handle, message.get("lease"),
+                                "malformed worker result payload",
+                                faults.DETERMINISTIC)
+        await conn.send({"id": reply_id, "type": "complete-ack",
+                         "accepted": accepted})
+
+    async def _handle_worker_fail(self, conn: _Connection, reply_id: Any,
+                                  message: Dict[str, Any]) -> None:
+        """Route one worker-reported failure into the retry policy."""
+        handle = self.fleet.handle_for(conn)
+        accepted = False
+        if handle is not None:
+            kind = message.get("failure")
+            if kind not in (faults.TRANSIENT, faults.TIMEOUT,
+                            faults.DETERMINISTIC, faults.DIVERGENCE):
+                kind = faults.DETERMINISTIC
+            accepted = self.fleet.fail(
+                handle, message.get("lease"),
+                str(message.get("error", "worker failure")), kind)
+        await conn.send({"id": reply_id, "type": "fail-ack",
+                         "accepted": accepted})
+
     # ------------------------------------------------------------ status
 
     async def _status_payload(self) -> Dict[str, Any]:
         cache = await asyncio.to_thread(diskcache.cache_stats)
+        checkpoints = await asyncio.to_thread(checkpoint.stats)
         from repro.core import memo as machine_memo
         return {
             "draining": self._draining,
@@ -610,7 +797,11 @@ class ExperimentService:
             "counters": dict(self.counters),
             "coalesce": self.table.stats(),
             "breaker": self.breaker.stats(),
+            "fleet_breaker": self.fleet_breaker.stats(),
+            "fleet": self.fleet.stats(),
+            "events": self.hub.stats(),
             "cache": cache,
+            "checkpoints": checkpoints,
             "machine_memo": machine_memo.aggregate_stats(),
         }
 
@@ -661,11 +852,55 @@ class ExperimentService:
                     for registry in (tasks, self._submit_tasks):
                         registry.add(task)
                         task.add_done_callback(registry.discard)
+                elif op == "subscribe":
+                    keys = message.get("keys")
+                    self.hub.subscribe(
+                        conn, reply_id,
+                        keys if isinstance(keys, list) else None)
+                    await conn.send({"id": reply_id, "type": "subscribed"})
+                elif op == "unsubscribe":
+                    existed = self.hub.unsubscribe(
+                        conn, message.get("subscription"))
+                    await conn.send({"id": reply_id, "type": "unsubscribed",
+                                     "existed": existed})
+                elif op == "worker-register":
+                    handle = self.fleet.register(conn, message)
+                    await conn.send({
+                        "id": reply_id, "type": "registered",
+                        "worker": handle.worker_id,
+                        "heartbeat": self.fleet.heartbeat_interval,
+                        "lease_ttl": self.fleet.lease_ttl})
+                elif op == "worker-poll":
+                    # Awaited inline: an idle worker sends nothing else,
+                    # so holding this connection's read loop through the
+                    # long-poll window is free.
+                    await self._handle_worker_poll(conn, reply_id, message)
+                elif op == "worker-heartbeat":
+                    handle = self.fleet.handle_for(conn)
+                    if handle is not None:
+                        leases = message.get("leases")
+                        self.fleet.heartbeat(
+                            handle,
+                            [l for l in (leases or [])
+                             if isinstance(l, int)])
+                elif op == "worker-started":
+                    handle = self.fleet.handle_for(conn)
+                    if handle is not None:
+                        self.fleet.started(handle, message.get("lease"))
+                elif op == "worker-complete":
+                    await self._handle_worker_complete(conn, reply_id,
+                                                       message)
+                elif op == "worker-fail":
+                    await self._handle_worker_fail(conn, reply_id, message)
                 else:
                     await conn.send({"id": reply_id, "type": "error",
                                      "error": f"unknown op: {op!r}"})
         finally:
             conn.alive = False
+            # A lost worker connection revokes its leases (requeueing
+            # the points); a lost subscriber tears down its feeds.
+            self.fleet.disconnect(conn)
+            self.hub.drop_connection(conn)
             self._connections.discard(conn)
             # Disconnect teardown: the submissions stop waiting (their
             # shielded awaits cancel, releasing their subscriptions and

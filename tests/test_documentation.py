@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.experiments.serialize", "repro.experiments.env",
     "repro.service", "repro.service.protocol", "repro.service.breaker",
     "repro.service.coalesce", "repro.service.server", "repro.service.client",
+    "repro.service.fleet", "repro.service.worker", "repro.service.events",
     "repro.validate", "repro.validate.errors", "repro.validate.digests",
     "repro.validate.observer", "repro.validate.lockstep",
     "repro.validate.report",

@@ -42,7 +42,8 @@ _KNOBS = ("REPRO_DISK_CACHE", "REPRO_TRACE_FILES", "REPRO_FAULTS",
           "REPRO_RESUME", "REPRO_CHECKPOINTS", "REPRO_JOBS",
           "REPRO_VALIDATE", "REPRO_CACHE_MAX_MB", "REPRO_ADMIT_MAX",
           "REPRO_CLIENT_BACKLOG", "REPRO_DRAIN_GRACE",
-          "REPRO_SERVICE_ADDR")
+          "REPRO_SERVICE_ADDR", "REPRO_LEASE_TTL", "REPRO_HEARTBEAT",
+          "REPRO_FLEET_MIN")
 
 
 @pytest.fixture(autouse=True)
@@ -878,3 +879,77 @@ def test_sigterm_drain_and_restart_resume():
              for p in points]
     assert [_result_json(r) for r in results] == \
         [_result_json(r) for r in clean]
+
+
+# --- worker-fleet heartbeat failover (chaos) ---------------------------------
+
+
+@pytest.mark.skipif(os.name != "posix", reason="POSIX signals")
+def test_worker_sigkill_failover_recomputes_elsewhere():
+    """SIGKILL a fleet worker mid-point: the dropped connection revokes
+    its lease, the point requeues onto the surviving worker, and the
+    answer is byte-identical to a clean in-process computation."""
+    from repro.service.server import ServiceThread
+
+    service = ServiceThread(host="127.0.0.1", port=0, jobs=1,
+                            lease_ttl=5.0, heartbeat=0.25)
+    service.start()
+    host, port = service.service.host, service.service.port
+
+    def spawn_worker(name, extra_env=None):
+        child_env = dict(os.environ)
+        child_env["PYTHONPATH"] = str(REPO / "src")
+        child_env.update(extra_env or {})
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", f"{host}:{port}",
+             "--name", name, "--quiet"],
+            env=child_env, cwd=REPO, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    def fleet_status(client):
+        return client.status()["fleet"]
+
+    def wait_until(predicate, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            assert time.monotonic() < deadline, "timed out waiting"
+            time.sleep(0.05)
+
+    point = _point()
+    # Worker A hangs on its first computation (armed worker, ordinal 0);
+    # worker B runs clean.
+    victim = spawn_worker("w-victim",
+                          {"REPRO_FAULTS": "hang:p0:600"})
+    survivor = None
+    try:
+        with ServiceClient(host, port, timeout=120) as client:
+            wait_until(lambda: len(fleet_status(client)["workers"]) == 1)
+            pending = client.submit_nowait([point])
+            # The hung point must be leased to the victim before the axe.
+            wait_until(lambda: any(
+                lease["worker"] == "w-victim"
+                for lease in fleet_status(client)["leases"]))
+            survivor = spawn_worker("w-survivor")
+            wait_until(lambda: len(fleet_status(client)["workers"]) == 2)
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+            results = client.result(pending)
+            fleet = fleet_status(client)
+        assert fleet["requeued_total"] >= 1
+        by_worker = {w["worker"]: w for w in fleet["workers"]}
+        assert by_worker["w-survivor"]["completed"] == 1
+        assert len(results) == 1
+    finally:
+        for child in (victim, survivor):
+            if child is None:
+                continue
+            try:
+                os.killpg(child.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            child.wait(timeout=30)
+        service.stop()
+
+    runner.clear_caches(disk=True)
+    clean = runner.frontend_result(point.benchmark, point.config, point.n)
+    assert _result_json(results[0]) == _result_json(clean)
